@@ -1,0 +1,86 @@
+"""E12 — Autonomic composition matches hand-tuning (Section 4.2).
+
+Claim: "self-configuration is more central to the architecture than in
+self-managing databases" — the pipeline must be "automatically and
+flexibly composed" from the declarative user context, without losing
+quality to a developer who hand-tunes every knob.
+
+We grid-search hand-tuned static pipelines (ER threshold x fusion
+strategy) over the same world and compare the planner-composed pipeline's
+context utility against the whole grid.  Expected shape: the autonomic
+plan lands in the top quartile of the grid without having searched it —
+its knowledge of the context and probe evidence substitutes for tuning.
+"""
+
+from repro.context.user_context import UserContext
+from repro.datagen.products import TARGET_SCHEMA
+from repro.evaluation import wrangle_scorecard
+from repro.fusion.fuse import EntityFuser
+from repro.model.annotations import Dimension
+from repro.resolution.comparison import profiled_comparator
+from repro.resolution.er import EntityResolver
+from repro.resolution.rules import ThresholdRule
+
+from helpers import build_wrangler, emit, format_table, standard_world
+
+WORLD = standard_world(n_products=50, n_sources=6, seed=1212)
+USER = UserContext.precision_first("tuner", TARGET_SCHEMA, budget=60.0)
+
+
+def utility(scorecard) -> float:
+    weights = {
+        Dimension.ACCURACY: scorecard["price_accuracy"],
+        Dimension.COMPLETENESS: 0.5 * scorecard["coverage"]
+        + 0.5 * scorecard["completeness"],
+    }
+    total = sum(USER.weight(d) * v for d, v in weights.items())
+    norm = sum(USER.weight(d) for d in weights)
+    return total / norm
+
+
+def hand_tuned(er_threshold: float, strategy: str):
+    """A static pipeline with explicit knob settings (same substrate)."""
+    wrangler = build_wrangler(WORLD, USER)
+    wrangler.run()  # reuse acquisition/matching; re-do ER + fusion by hand
+    translated = wrangler.working.get("table", "translated")
+    comparator = profiled_comparator(TARGET_SCHEMA, translated)
+    resolver = EntityResolver(comparator=comparator,
+                              rule=ThresholdRule(er_threshold))
+    resolution = resolver.resolve(translated)
+    fuser = EntityFuser(
+        TARGET_SCHEMA,
+        reliabilities=wrangler.registry.reliability_scores(),
+        default_strategy=strategy,
+        recency_attribute="updated",
+    )
+    return fuser.fuse(resolution.clusters)
+
+
+def test_e12_autonomic_vs_grid(benchmark):
+    autonomic = benchmark.pedantic(
+        lambda: build_wrangler(WORLD, USER).run(), rounds=1, iterations=1
+    )
+    autonomic_utility = utility(wrangle_scorecard(autonomic.table, WORLD))
+
+    grid_utilities = []
+    rows = []
+    for er_threshold in (0.7, 0.8, 0.9, 0.95):
+        for strategy in ("majority", "weighted", "median", "recent"):
+            output = hand_tuned(er_threshold, strategy)
+            value = utility(wrangle_scorecard(output, WORLD))
+            grid_utilities.append(value)
+            rows.append([f"{er_threshold:.2f}", strategy, f"{value:.3f}"])
+    rows.append(["(autonomic)",
+                 f"{autonomic.plan.fusion_strategy}"
+                 f"@{autonomic.plan.er_threshold:.2f}",
+                 f"{autonomic_utility:.3f}"])
+    emit(
+        "E12-autonomic",
+        format_table(["ER threshold", "fusion", "context utility"], rows),
+    )
+
+    grid_utilities.sort(reverse=True)
+    top_quartile = grid_utilities[len(grid_utilities) // 4]
+    # The planner's untuned configuration competes with the tuned grid.
+    assert autonomic_utility >= top_quartile - 0.02
+    assert autonomic_utility >= max(grid_utilities) - 0.1

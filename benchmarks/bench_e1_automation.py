@@ -1,0 +1,74 @@
+"""E1 — Automation vs manual ETL effort (paper Section 1).
+
+Claim: "data scientists spend from 50 to 80 percent of their time
+collecting and preparing unruly digital data" because classical ETL needs
+manual work per source and per decision; massive automation must cut the
+manual effort without giving up quality.
+
+We count *manual actions* (source wiring, threshold choices, mapping
+sign-offs) for the hand-wired StaticETL versus the autonomic Wrangler on
+the same world, and compare output quality.  Expected shape: the Wrangler
+needs O(1) manual actions (declare the context) against O(#sources) for
+ETL, at equal or better quality.
+"""
+
+from repro.baselines.static_etl import StaticETL
+from repro.datagen.products import TARGET_SCHEMA
+from repro.evaluation import wrangle_scorecard
+from repro.sources.memory import MemorySource
+
+from helpers import build_wrangler, emit, format_table, standard_world
+
+WORLD = standard_world(n_products=50, n_sources=8, seed=101)
+
+
+def run_static_etl():
+    etl = StaticETL(TARGET_SCHEMA)
+    for name, rows in WORLD.source_rows.items():
+        etl.add_source(MemorySource(name, rows))
+    # Two more manual decisions a developer makes: both thresholds.
+    etl.manual_actions += 2
+    return etl, etl.run()
+
+
+def run_wrangler(user=None):
+    wrangler = build_wrangler(WORLD, user=user)
+    return wrangler, wrangler.run()
+
+
+def test_e1_manual_effort_and_quality(benchmark):
+    from repro.context.user_context import UserContext
+
+    etl, etl_output = run_static_etl()
+    __, precision_result = benchmark.pedantic(run_wrangler, rounds=2, iterations=1)
+    __, completeness_result = run_wrangler(
+        UserContext.completeness_first("bench-complete", TARGET_SCHEMA)
+    )
+    etl_score = wrangle_scorecard(etl_output, WORLD)
+    precision_score = wrangle_scorecard(precision_result.table, WORLD)
+    completeness_score = wrangle_scorecard(completeness_result.table, WORLD)
+    rows = [
+        ["static ETL", etl.manual_actions, f"{etl_score['coverage']:.2f}",
+         f"{etl_score['price_accuracy']:.2f}",
+         f"{etl_score['completeness']:.2f}"],
+        ["wrangler (precision ctx)", 1,
+         f"{precision_score['coverage']:.2f}",
+         f"{precision_score['price_accuracy']:.2f}",
+         f"{precision_score['completeness']:.2f}"],
+        ["wrangler (completeness ctx)", 1,
+         f"{completeness_score['coverage']:.2f}",
+         f"{completeness_score['price_accuracy']:.2f}",
+         f"{completeness_score['completeness']:.2f}"],
+    ]
+    emit(
+        "E1-automation",
+        format_table(
+            ["approach", "manual actions", "coverage", "price acc", "completeness"],
+            rows,
+        ),
+    )
+    # O(#sources) manual actions for ETL vs one declared context.
+    assert etl.manual_actions >= len(WORLD.source_rows)
+    # Each context dominates ETL on its own priority dimension.
+    assert precision_score["price_accuracy"] > etl_score["price_accuracy"]
+    assert completeness_score["completeness"] > etl_score["completeness"]

@@ -1,0 +1,87 @@
+"""E6 — Feedback must not trigger full reprocessing (Sections 2.4, 4.2).
+
+Claim: "It is of paramount importance that these feedback-induced
+'reactions' do not trigger a re-processing of all datasets involved in the
+computation but rather limit the processing to the strictly necessary
+data."
+
+For each feedback type we measure how many dataflow nodes recompute and
+the wall-clock of the refresh, against a from-scratch pipeline run.
+Expected shape: every feedback type recomputes a small fraction of the
+graph; value feedback (which only moves reliabilities) is the cheapest.
+"""
+
+import time
+
+from repro.feedback.types import (
+    DuplicateFeedback,
+    MatchFeedback,
+    RelevanceFeedback,
+    ValueFeedback,
+)
+
+from helpers import build_wrangler, emit, format_table, standard_world
+
+WORLD = standard_world(n_products=50, n_sources=6, seed=606)
+
+
+def fresh_wrangler():
+    wrangler = build_wrangler(WORLD)
+    start = time.perf_counter()
+    result = wrangler.run()
+    elapsed = time.perf_counter() - start
+    return wrangler, result, elapsed
+
+
+def refresh_after(wrangler, items):
+    base = wrangler.recompute_count()
+    wrangler.apply_feedback(items)
+    start = time.perf_counter()
+    wrangler.run()
+    elapsed = time.perf_counter() - start
+    return wrangler.recompute_count() - base, elapsed
+
+
+def test_e6_incremental_recomputation(benchmark):
+    wrangler, result, full_time = fresh_wrangler()
+    total_nodes = len(wrangler.flow.nodes())
+    translated = wrangler.working.get("table", "translated")
+    rid_a, rid_b = translated[0].rid, translated[1].rid
+
+    feedback_cases = [
+        ("value", [ValueFeedback(entity=result.table[0].rid,
+                                 attribute="price", is_correct=True)]),
+        ("duplicate", [DuplicateFeedback(rid_a=rid_a, rid_b=rid_b,
+                                         is_duplicate=False)]),
+        ("match", [MatchFeedback(source_name=result.plan.sources[0],
+                                 source_attribute="cost",
+                                 target_attribute="price",
+                                 is_correct=True)]),
+        ("relevance", [RelevanceFeedback(
+            source_name=result.plan.sources[0], is_relevant=True)]),
+    ]
+    rows = [["(full pipeline)", total_nodes, f"{full_time * 1000:.0f}"]]
+    fractions = {}
+    for label, items in feedback_cases:
+        recomputed, elapsed = refresh_after(wrangler, items)
+        fractions[label] = recomputed / total_nodes
+        rows.append([label, recomputed, f"{elapsed * 1000:.0f}"])
+
+    def incremental_value_refresh():
+        wrangler.apply_feedback(
+            [ValueFeedback(entity=result.table[0].rid, attribute="price",
+                           is_correct=True)]
+        )
+        wrangler.run()
+
+    benchmark(incremental_value_refresh)
+    emit(
+        "E6-incremental",
+        format_table(["trigger", "nodes recomputed", "wall ms"], rows),
+    )
+    # No feedback type reprocesses even half of the pipeline.
+    for label, fraction in fractions.items():
+        assert fraction < 0.5, f"{label} feedback recomputed {fraction:.0%}"
+    # Acquisition (the expensive part) is never redone for any of them.
+    for name in WORLD.source_rows:
+        assert wrangler.flow.runs(f"acquire:{name}") <= 1

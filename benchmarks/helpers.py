@@ -1,0 +1,80 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark prints its experiment table through :func:`emit`, which
+also persists it under ``benchmarks/results/`` so EXPERIMENTS.md can quote
+measured numbers verbatim.
+"""
+
+from __future__ import annotations
+
+import datetime
+from pathlib import Path
+
+from repro.context.data_context import DataContext
+from repro.context.user_context import UserContext
+from repro.core.wrangler import Wrangler
+from repro.datagen.ontologies import product_ontology
+from repro.datagen.products import TARGET_SCHEMA, ProductWorld, generate_world
+from repro.sources.memory import MemorySource
+
+TODAY = datetime.date(2016, 3, 15)
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print an experiment table and persist it for EXPERIMENTS.md."""
+    banner = f"\n=== {experiment} ===\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(banner, encoding="utf-8")
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Fixed-width table rendering for experiment output."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        " | ".join(headers[i].ljust(widths[i]) for i in range(len(headers))),
+        "-+-".join("-" * width for width in widths),
+    ]
+    for row in cells:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def standard_world(
+    n_products: int = 60, n_sources: int = 8, seed: int = 2016
+) -> ProductWorld:
+    """The default price-intelligence world used across benchmarks."""
+    return generate_world(n_products=n_products, n_sources=n_sources, seed=seed)
+
+
+def build_wrangler(
+    world: ProductWorld,
+    user: UserContext | None = None,
+    with_master: bool = True,
+) -> Wrangler:
+    """A ready-to-run Wrangler over a generated world."""
+    user = user or UserContext.precision_first(
+        "bench", TARGET_SCHEMA, budget=60.0
+    )
+    data = DataContext("products").with_ontology(product_ontology())
+    if with_master:
+        data.add_master("catalog", world.ground_truth)
+    wrangler = Wrangler(
+        user,
+        data,
+        master_key="catalog" if with_master else None,
+        join_attribute="product" if with_master else None,
+        today=TODAY,
+    )
+    for name, rows in world.source_rows.items():
+        spec = world.specs[name]
+        wrangler.add_source(
+            MemorySource(name, rows, cost_per_access=spec.cost,
+                         change_rate=spec.staleness)
+        )
+    return wrangler

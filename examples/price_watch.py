@@ -1,0 +1,110 @@
+"""Price watch: Velocity handled end to end.
+
+The point of price intelligence is noticing *moves*.  This example runs
+the wrangler over volatile retailer sources, lets the market drift
+(retailers reprice, one goes stale), refreshes only the changed sources
+(the rest of the pipeline stays memoised), and reads the typed change
+report: which products appeared, disappeared, or moved in price — each
+change traceable to the sources behind it.
+
+Run:  python examples/price_watch.py
+"""
+
+import random
+
+from repro import DataContext, UserContext, Wrangler
+from repro.datagen import TARGET_SCHEMA, product_ontology
+from repro.sources.memory import VolatileSource
+
+
+class Market:
+    """A tiny simulated market the volatile sources read from."""
+
+    def __init__(self, n_products: int = 25, seed: int = 21) -> None:
+        self.rng = random.Random(seed)
+        self.products = {
+            f"P{i:03d}": {
+                "product": f"Acme Gadget {2000 + i}",
+                "brand": "Acme",
+                "category": "gadget",
+                "price": round(self.rng.uniform(40, 400), 2),
+            }
+            for i in range(n_products)
+        }
+
+    def reprice(self, fraction: float = 0.3) -> int:
+        """Some retained products change price; returns how many."""
+        moved = 0
+        for entry in self.products.values():
+            if self.rng.random() < fraction:
+                entry["price"] = round(
+                    entry["price"] * self.rng.uniform(0.8, 1.1), 2
+                )
+                moved += 1
+        return moved
+
+    def rows_for(self, retailer: str, markup: float):
+        return [
+            {
+                "product": entry["product"],
+                "brand": entry["brand"],
+                "category": entry["category"],
+                "price": f"${entry['price'] * markup:.2f}",
+                "updated": "2016-03-15",
+            }
+            for entry in self.products.values()
+        ]
+
+
+def main() -> None:
+    market = Market()
+    user = UserContext.precision_first("watcher", TARGET_SCHEMA)
+    data = DataContext("products").with_ontology(product_ontology())
+    wrangler = Wrangler(user, data)
+    for retailer, markup in (("shop-a", 1.0), ("shop-b", 1.0)):
+        wrangler.add_source(
+            VolatileSource(
+                retailer,
+                lambda index, r=retailer, m=markup: market.rows_for(r, m),
+                cost_per_access=1.0,
+                change_rate=5.0,
+            )
+        )
+
+    result = wrangler.run()
+    print(f"day 0: wrangled {len(result.table)} products "
+          f"({wrangler.recompute_count()} dataflow computations)\n")
+
+    # --- the market moves ---------------------------------------------------
+    moved = market.reprice(fraction=0.3)
+    print(f"overnight: {moved} products repriced at the retailers")
+    before = wrangler.recompute_count()
+    wrangler.refresh_source("shop-a")
+    wrangler.refresh_source("shop-b")
+    wrangler.run()
+    print(f"refresh recomputed {wrangler.recompute_count() - before} "
+          f"dataflow nodes (not the whole pipeline)\n")
+
+    report = wrangler.changes_since_last_run()
+    print(f"change report: {report.summary()}")
+    drops = sorted(
+        report.numeric_moves("price"), key=lambda move: move[1]
+    )[:5]
+    print("\nbiggest price drops:")
+    wrangled = {record.rid: record for record in wrangler.history.latest()}
+    for entity, change in drops:
+        if change >= 0:
+            break
+        record = wrangled.get(entity)
+        name = record.raw("product") if record else entity
+        print(f"  {name}: {change:+.1%}")
+
+    if drops and drops[0][1] < 0:
+        entity = drops[0][0]
+        print("\nwhy do we believe the new price?")
+        record = wrangled[entity]
+        print(record.get("price").provenance.why())
+
+
+if __name__ == "__main__":
+    main()

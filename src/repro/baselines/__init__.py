@@ -1,0 +1,5 @@
+"""Comparison baselines: the classical ETL pipeline the paper critiques."""
+
+from repro.baselines.static_etl import StaticETL
+
+__all__ = ["StaticETL"]

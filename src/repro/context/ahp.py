@@ -1,0 +1,119 @@
+"""The Analytic Hierarchy Process (Saaty) for eliciting criteria weights.
+
+Section 2.1: "in the widely used Analytic Hierarchy Process, users compare
+criteria (such as timeliness or completeness) in terms of their relative
+importance, which can be taken into account when making decisions (such as
+which mappings to use in data integration)".
+
+Users supply pairwise judgments on Saaty's 1–9 scale; the principal
+eigenvector of the reciprocal comparison matrix yields the weight vector,
+and the consistency ratio flags incoherent judgment sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ContextError
+
+__all__ = ["AHPComparison", "ahp_weights", "consistency_ratio"]
+
+# Saaty's random consistency index, by matrix order (0- and 1-indexed
+# entries are zero by convention).
+_RANDOM_INDEX = (0.0, 0.0, 0.0, 0.58, 0.90, 1.12, 1.24, 1.32, 1.41, 1.45, 1.49)
+
+#: Judgments above this consistency ratio are conventionally rejected.
+CONSISTENCY_THRESHOLD = 0.1
+
+
+@dataclass
+class AHPComparison:
+    """A pairwise-comparison matrix builder over named criteria.
+
+    ``prefer(a, b, strength)`` records that criterion ``a`` is ``strength``
+    times as important as ``b`` (Saaty scale: 1 equal ... 9 extreme).  The
+    reciprocal entry is maintained automatically.
+    """
+
+    criteria: Sequence[str]
+    _matrix: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.criteria) < 2:
+            raise ContextError("AHP needs at least two criteria")
+        if len(set(self.criteria)) != len(self.criteria):
+            raise ContextError("AHP criteria must be distinct")
+        self._matrix = np.ones((len(self.criteria), len(self.criteria)))
+
+    def _index(self, criterion: str) -> int:
+        try:
+            return list(self.criteria).index(criterion)
+        except ValueError as exc:
+            raise ContextError(f"unknown criterion: {criterion!r}") from exc
+
+    def prefer(self, over: str, under: str, strength: float) -> "AHPComparison":
+        """Record that ``over`` is ``strength`` x as important as ``under``."""
+        if not 1.0 / 9.0 <= strength <= 9.0:
+            raise ContextError(
+                f"Saaty strengths lie in [1/9, 9], got {strength}"
+            )
+        i, j = self._index(over), self._index(under)
+        if i == j:
+            raise ContextError("cannot compare a criterion with itself")
+        self._matrix[i, j] = strength
+        self._matrix[j, i] = 1.0 / strength
+        return self
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """A copy of the current reciprocal comparison matrix."""
+        return self._matrix.copy()
+
+    def weights(self) -> dict[str, float]:
+        """Criterion weights from the principal eigenvector (sum to 1)."""
+        vector = ahp_weights(self._matrix)
+        return {name: float(w) for name, w in zip(self.criteria, vector)}
+
+    def consistency(self) -> float:
+        """The consistency ratio of the recorded judgments."""
+        return consistency_ratio(self._matrix)
+
+    def is_consistent(self, threshold: float = CONSISTENCY_THRESHOLD) -> bool:
+        """Whether the judgments are coherent enough to act on."""
+        return self.consistency() <= threshold
+
+
+def ahp_weights(matrix: np.ndarray) -> np.ndarray:
+    """The normalised principal eigenvector of a reciprocal matrix."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ContextError("AHP matrix must be square")
+    if np.any(matrix <= 0):
+        raise ContextError("AHP matrix entries must be positive")
+    eigenvalues, eigenvectors = np.linalg.eig(matrix)
+    principal = int(np.argmax(eigenvalues.real))
+    vector = np.abs(eigenvectors[:, principal].real)
+    total = vector.sum()
+    if total == 0:
+        raise ContextError("degenerate AHP matrix")
+    return vector / total
+
+
+def consistency_ratio(matrix: np.ndarray) -> float:
+    """Saaty's consistency ratio; 0 means perfectly consistent judgments."""
+    matrix = np.asarray(matrix, dtype=float)
+    n = matrix.shape[0]
+    if n < 3:
+        return 0.0
+    eigenvalues = np.linalg.eigvals(matrix)
+    lambda_max = float(np.max(eigenvalues.real))
+    consistency_index = (lambda_max - n) / (n - 1)
+    random_index = (
+        _RANDOM_INDEX[n] if n < len(_RANDOM_INDEX) else _RANDOM_INDEX[-1]
+    )
+    if random_index == 0.0:
+        return 0.0
+    return max(0.0, consistency_index / random_index)

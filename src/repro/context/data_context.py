@@ -1,0 +1,126 @@
+"""The data context: master data, reference data, and domain ontologies.
+
+Example 4 of the paper: "the data context includes not only the data that
+the application seeks to use, but also local and third party sources that
+provide additional information about the domain", e.g. a product catalog
+treated as master data, schema.org-style formats, and product ontologies.
+
+Components consult the :class:`DataContext` for three things: reference
+vocabularies (legal values of an attribute), master records (trusted
+entities that scope relevance and anchor accuracy measurement), and the
+ontology (semantic matching evidence and expected types).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.context.ontology import Ontology
+from repro.errors import ContextError
+from repro.model.records import Table
+
+__all__ = ["DataContext"]
+
+
+@dataclass
+class DataContext:
+    """All auxiliary information available to inform the wrangling process."""
+
+    name: str = "data-context"
+    master_data: dict[str, Table] = field(default_factory=dict)
+    reference_data: dict[str, Table] = field(default_factory=dict)
+    ontology: Ontology | None = None
+
+    # -- construction ------------------------------------------------------
+
+    def add_master(self, key: str, table: Table) -> "DataContext":
+        """Register a master-data table (trusted, curated entities)."""
+        if key in self.master_data:
+            raise ContextError(f"master data {key!r} already registered")
+        self.master_data[key] = table
+        return self
+
+    def add_reference(self, key: str, table: Table) -> "DataContext":
+        """Register a reference table (vocabularies, code lists, formats)."""
+        if key in self.reference_data:
+            raise ContextError(f"reference data {key!r} already registered")
+        self.reference_data[key] = table
+        return self
+
+    def with_ontology(self, ontology: Ontology) -> "DataContext":
+        """Attach the domain ontology."""
+        self.ontology = ontology
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    def master(self, key: str) -> Table:
+        """The master table registered under ``key``."""
+        if key not in self.master_data:
+            raise ContextError(f"no master data registered under {key!r}")
+        return self.master_data[key]
+
+    def master_values(self, key: str, attribute: str) -> set[Any]:
+        """Distinct trusted values of ``attribute`` in master table ``key``."""
+        return self.master(key).distinct_raw(attribute)
+
+    def vocabulary(self, attribute: str) -> set[Any]:
+        """The union of legal values for ``attribute`` across all reference
+        tables that define it."""
+        values: set[Any] = set()
+        for table in self.reference_data.values():
+            if attribute in table.schema:
+                values |= table.distinct_raw(attribute)
+        return values
+
+    def knows_attribute(self, attribute: str) -> bool:
+        """Whether any reference table or the ontology mentions ``attribute``."""
+        if any(
+            attribute in table.schema for table in self.reference_data.values()
+        ):
+            return True
+        if self.ontology is not None:
+            return (
+                self.ontology.property_of(attribute) is not None
+                or self.ontology.concept_of(attribute) is not None
+            )
+        return False
+
+    def validate_value(self, attribute: str, value: Any) -> float:
+        """Plausibility of ``value`` for ``attribute`` given the context.
+
+        Returns 1.0 when a reference vocabulary confirms the value, 0.0
+        when a non-empty vocabulary excludes it, and 0.5 when the context
+        is silent — "the ontology may not quite represent the user's
+        conceptualisation" (Section 4.2), so absence of evidence is not
+        evidence of absence.
+        """
+        vocabulary = self.vocabulary(attribute)
+        if vocabulary:
+            return 1.0 if value in vocabulary else 0.0
+        if self.ontology is not None:
+            expected = self.ontology.expected_dtype(attribute)
+            if expected is not None and value is not None:
+                from repro.model.schema import coerce
+                from repro.errors import TypeInferenceError
+
+                try:
+                    coerce(value, expected)
+                    return 0.8
+                except TypeInferenceError:
+                    return 0.1
+        return 0.5
+
+    def summary(self) -> dict[str, int]:
+        """Sizes of the registered auxiliary data."""
+        return {
+            "master_tables": len(self.master_data),
+            "reference_tables": len(self.reference_data),
+            "ontology_concepts": (
+                len(self.ontology.concepts) if self.ontology else 0
+            ),
+            "ontology_properties": (
+                len(self.ontology.properties) if self.ontology else 0
+            ),
+        }

@@ -1,0 +1,160 @@
+"""The incremental dataflow engine behind pay-as-you-go recomputation.
+
+Section 2.4: "It is of paramount importance that these feedback-induced
+'reactions' do not trigger a re-processing of all datasets involved in the
+computation but rather limit the processing to the strictly necessary
+data."
+
+The engine is a DAG of named nodes.  Each node's compute function reads
+the values of its dependencies; results are memoised and only recomputed
+when a dependency (or the node itself) has been invalidated.  Feedback
+handlers invalidate exactly the nodes a feedback type touches, and the
+next ``pull`` re-runs only the dirty cone — the recompute counter is what
+experiment E6 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import networkx as nx
+
+from repro.errors import DataflowError
+
+__all__ = ["Dataflow"]
+
+
+@dataclass
+class _Node:
+    name: str
+    compute: Callable[[Mapping[str, Any]], Any]
+    dependencies: tuple[str, ...]
+    value: Any = None
+    clean: bool = False
+    runs: int = 0
+
+
+class Dataflow:
+    """A pull-based, memoising dataflow DAG."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, _Node] = {}
+        self._graph = nx.DiGraph()
+
+    # -- construction -----------------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        compute: Callable[[Mapping[str, Any]], Any],
+        dependencies: tuple[str, ...] = (),
+    ) -> str:
+        """Add a node; dependencies must already exist (DAG by construction)."""
+        if name in self._nodes:
+            raise DataflowError(f"node {name!r} already defined")
+        for dependency in dependencies:
+            if dependency not in self._nodes:
+                raise DataflowError(
+                    f"node {name!r} depends on undefined node {dependency!r}"
+                )
+        self._nodes[name] = _Node(name, compute, tuple(dependencies))
+        self._graph.add_node(name)
+        for dependency in dependencies:
+            self._graph.add_edge(dependency, name)
+        return name
+
+    def add_input(self, name: str, value: Any = None) -> str:
+        """Add a leaf node holding an externally supplied value."""
+        self.add(name, lambda inputs: None)
+        node = self._nodes[name]
+        node.value = value
+        node.clean = True
+        return name
+
+    def set_input(self, name: str, value: Any) -> None:
+        """Replace an input's value, dirtying everything downstream."""
+        node = self._require(name)
+        node.value = value
+        node.clean = True
+        self._dirty_descendants(name)
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate(self, name: str) -> None:
+        """Mark a node (and its downstream cone) as needing recomputation."""
+        self._require(name).clean = False
+        self._dirty_descendants(name)
+
+    def _dirty_descendants(self, name: str) -> None:
+        for descendant in nx.descendants(self._graph, name):
+            self._nodes[descendant].clean = False
+
+    # -- evaluation ---------------------------------------------------------
+
+    def pull(self, name: str) -> Any:
+        """The node's current value, recomputing only the dirty cone."""
+        node = self._require(name)
+        if node.clean:
+            return node.value
+        order = [
+            n
+            for n in nx.topological_sort(self._graph)
+            if n == name or n in nx.ancestors(self._graph, name)
+        ]
+        for node_name in order:
+            current = self._nodes[node_name]
+            if current.clean:
+                continue
+            inputs = {
+                dependency: self._nodes[dependency].value
+                for dependency in current.dependencies
+            }
+            current.value = current.compute(inputs)
+            current.clean = True
+            current.runs += 1
+        return node.value
+
+    def pull_all(self) -> None:
+        """Bring every node up to date."""
+        for name in nx.topological_sort(self._graph):
+            self.pull(name)
+
+    # -- introspection ----------------------------------------------------
+
+    def _require(self, name: str) -> _Node:
+        if name not in self._nodes:
+            raise DataflowError(f"no node named {name!r}")
+        return self._nodes[name]
+
+    def value(self, name: str) -> Any:
+        """The memoised value (may be stale; use ``pull`` to refresh)."""
+        return self._require(name).value
+
+    def is_clean(self, name: str) -> bool:
+        """Whether the node is up to date."""
+        return self._require(name).clean
+
+    def runs(self, name: str) -> int:
+        """How many times the node has been computed."""
+        return self._require(name).runs
+
+    def total_runs(self) -> int:
+        """Total node computations across the graph's lifetime."""
+        return sum(node.runs for node in self._nodes.values())
+
+    def dirty_nodes(self) -> list[str]:
+        """All currently stale nodes."""
+        return sorted(
+            name for name, node in self._nodes.items() if not node.clean
+        )
+
+    def nodes(self) -> list[str]:
+        """All node names in topological order."""
+        return list(nx.topological_sort(self._graph))
+
+    def invalidate_all(self) -> None:
+        """Mark every non-input node stale (full recompute on next pull)."""
+        for node in self._nodes.values():
+            if node.dependencies:
+                node.clean = False

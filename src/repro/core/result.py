@@ -1,0 +1,75 @@
+"""The outcome of a wrangling run: data plus everything behind it."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.planner import WranglePlan
+from repro.mapping.selection import ScoredMapping
+from repro.model.records import Table
+from repro.quality.metrics import QualityReport
+from repro.quality.repair import RepairResult
+from repro.resolution.er import ResolutionResult
+
+__all__ = ["WrangleResult"]
+
+
+@dataclass
+class WrangleResult:
+    """Wrangled data with its plan, quality report, and lineage access.
+
+    The paper's architecture stores all intermediate results; this object
+    is the user-facing view of them for one run.
+    """
+
+    table: Table
+    plan: WranglePlan
+    quality: QualityReport
+    mappings: list[ScoredMapping] = field(default_factory=list)
+    resolution: ResolutionResult | None = None
+    repair: RepairResult | None = None
+    source_reports: dict[str, QualityReport] = field(default_factory=dict)
+    access_cost: float = 0.0
+    feedback_cost: float = 0.0
+
+    @property
+    def total_cost(self) -> float:
+        """Everything this result has cost: source access plus feedback."""
+        return self.access_cost + self.feedback_cost
+
+    def why(self, entity: str, attribute: str) -> str:
+        """The full lineage explanation of one wrangled cell."""
+        for record in self.table:
+            if record.rid == entity:
+                return record.get(attribute).provenance.why()
+        raise KeyError(f"no entity {entity!r} in the wrangled data")
+
+    def explain(self) -> str:
+        """A readable account of the run: plan, shape, quality, cost."""
+        lines = [
+            "=== wrangle plan ===",
+            self.plan.explain(),
+            "=== result ===",
+            self.table.describe(),
+        ]
+        if self.resolution is not None:
+            merged = sum(
+                len(c) for c in self.resolution.non_singleton()
+            )
+            lines.append(
+                f"entity resolution: {len(self.resolution)} entities from "
+                f"{merged} merged records "
+                f"({self.resolution.compared} comparisons over "
+                f"{self.resolution.candidate_pairs} candidate pairs)"
+            )
+        if self.repair is not None and self.repair.repairs:
+            lines.append(
+                f"constraint repair: {len(self.repair.repairs)} cells modified "
+                f"at cost {self.repair.total_cost:.2f}"
+            )
+        lines.append(f"quality: {self.quality.summary()}")
+        lines.append(
+            f"cost: {self.access_cost:.1f} source access + "
+            f"{self.feedback_cost:.1f} feedback = {self.total_cost:.1f}"
+        )
+        return "\n".join(lines)

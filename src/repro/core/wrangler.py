@@ -1,0 +1,732 @@
+"""The Wrangler: the abstract architecture of Figure 1, made executable.
+
+``Wrangler`` wires Data Sources → Data Extraction → Data Integration →
+Wrangled Data as an **incremental dataflow**, with the Working Data
+(tables, matches, mappings, wrappers, quality annotations, feedback) in
+the middle and the user/data contexts informing every step:
+
+* the autonomic planner composes the pipeline (no hand-wired workflow);
+* every component reads and writes the shared working data;
+* feedback propagates to all components and invalidates exactly the
+  dataflow nodes it affects — re-running is cheap, as Section 2.4 demands.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Mapping, Sequence
+
+from repro.context.data_context import DataContext
+from repro.context.user_context import UserContext
+from repro.core.dataflow import Dataflow
+from repro.core.planner import AutonomicPlanner, WranglePlan
+from repro.core.result import WrangleResult
+from repro.errors import PlanningError, WranglingError
+from repro.model.annotations import Dimension, QualityAnnotation
+from repro.extraction.induction import ExampleAnnotation, auto_induce, induce_wrapper
+from repro.extraction.repair import WrapperRepairer
+from repro.feedback.propagation import FeedbackPropagator
+from repro.feedback.store import FeedbackStore
+from repro.feedback.types import (
+    DuplicateFeedback,
+    ExtractionFeedback,
+    Feedback,
+    MatchFeedback,
+    RelevanceFeedback,
+    ValueFeedback,
+)
+from repro.fusion.fuse import EntityFuser
+from repro.mapping.mapping import Mapping
+from repro.mapping.selection import MappingSelector
+from repro.matching.schema_matching import SchemaMatcher
+from repro.model.records import Record, Table
+from repro.model.schema import Schema
+from repro.quality.constraints import Constraint
+from repro.quality.metrics import QualityAnalyser
+from repro.quality.repair import repair_table
+from repro.resolution.comparison import profiled_comparator
+from repro.resolution.er import EntityResolver
+from repro.resolution.rules import ThresholdRule, fit_threshold
+from repro.sources.base import DataSource, DocumentSource, StructuredSource
+from repro.sources.registry import SourceRegistry
+from repro.model.workingdata import WorkingData
+
+__all__ = ["Wrangler"]
+
+
+class Wrangler:
+    """Context-aware, pay-as-you-go wrangling over registered sources."""
+
+    def __init__(
+        self,
+        user: UserContext,
+        data: DataContext | None = None,
+        constraints: Sequence[Constraint] = (),
+        master_key: str | None = None,
+        join_attribute: str | None = None,
+        date_attribute: str | None = None,
+        today: _dt.date | None = None,
+        discover_constraints: bool = False,
+    ) -> None:
+        self.user = user
+        self.data = data or DataContext()
+        self.constraints = list(constraints)
+        self.discover_constraints = discover_constraints
+        self.master_key = master_key
+        self.join_attribute = join_attribute
+        if date_attribute is None and "updated" in user.target_schema:
+            date_attribute = "updated"
+        self.date_attribute = date_attribute
+        self.registry = SourceRegistry()
+        self.working = WorkingData()
+        self.feedback = FeedbackStore()
+        self.planner = AutonomicPlanner()
+        self.analyser = QualityAnalyser(
+            self.data, self.working.annotations, today=today
+        )
+        self._examples: dict[str, list[ExampleAnnotation]] = {}
+        self._flow: Dataflow | None = None
+        self._match_evidence: dict[tuple[str, str], list[bool]] = {}
+        from repro.core.history import SnapshotHistory
+
+        self.history = SnapshotHistory()
+        self._recorded_fuse_runs = -1
+
+    # -- source management ------------------------------------------------
+
+    def add_source(self, source: DataSource) -> "Wrangler":
+        """Register a source (structured or document)."""
+        self.registry.register(source)
+        self._flow = None  # topology changed; rebuild on next run
+        return self
+
+    def add_sources(self, sources: Sequence[DataSource]) -> "Wrangler":
+        """Register several sources."""
+        for source in sources:
+            self.add_source(source)
+        return self
+
+    def annotate_examples(
+        self, source_name: str, examples: Sequence[ExampleAnnotation]
+    ) -> "Wrangler":
+        """Provide wrapper-induction examples for a document source."""
+        self._examples.setdefault(source_name, []).extend(examples)
+        if self._flow is not None and self._flow.nodes():
+            try:
+                self._flow.invalidate(f"acquire:{source_name}")
+            except Exception:  # noqa: BLE001 - node may not exist yet
+                pass
+        return self
+
+    # -- pipeline stages (dataflow node bodies) -----------------------------
+
+    def _probe_all(self) -> dict[str, object]:
+        """Cheaply sample every source and annotate what the sample shows.
+
+        Section 2.3's "use all the available information": before spending
+        budget, each source is probed (a fraction of a full access), the
+        sample is bootstrap-matched and mapped, and its quality — accuracy
+        against master data, timeliness, completeness — is written into
+        the working data so that source selection is informed rather than
+        cost-blind.
+        """
+        reports: dict[str, object] = {}
+        matcher = SchemaMatcher(self.data, threshold=0.5)
+        for name in self.registry.names():
+            source = self.registry.get(name)
+            try:
+                if isinstance(source, StructuredSource):
+                    sample = source.probe().infer_schema()
+                elif isinstance(source, DocumentSource):
+                    documents = source.probe()
+                    examples = self._examples.get(name)
+                    if examples:
+                        wrapper = induce_wrapper(
+                            source.fetch(), examples, source=name
+                        )
+                        sample = wrapper.extract(documents).infer_schema()
+                    else:
+                        wrapper = auto_induce(documents, source=name)
+                        sample = wrapper.extract(documents).infer_schema()
+                else:
+                    continue
+                correspondences = matcher.match(sample, self.user.target_schema)
+                mapping = Mapping.from_correspondences(
+                    name, self.user.target_schema, correspondences
+                )
+                mapped = Mapping(
+                    sample.name, mapping.target_schema, mapping.attribute_maps
+                ).apply(sample)
+                reports[name] = self.analyser.analyse(
+                    mapped,
+                    user=self.user,
+                    master_key=self.master_key,
+                    join_attribute=self.join_attribute,
+                    date_attribute=self.date_attribute,
+                    annotate_as=f"source:{name}",
+                )
+                # Catalog coverage: the source's advertised size against the
+                # master catalog, scaled by observed field completeness.
+                if (
+                    self.master_key is not None
+                    and isinstance(source, StructuredSource)
+                    and self.master_key in self.data.master_data
+                ):
+                    master_size = len(self.data.master(self.master_key))
+                    coverage = min(
+                        1.0, source.size_hint() / max(1, master_size)
+                    ) * mapped.completeness()
+                    for __ in range(2):
+                        self.working.annotations.add(
+                            QualityAnnotation(
+                                f"source:{name}",
+                                Dimension.COMPLETENESS,
+                                coverage,
+                                confidence=1.0,
+                                origin="probe-coverage",
+                            )
+                        )
+            except WranglingError:
+                # A source whose sample cannot even be parsed or matched is
+                # itself a quality signal.
+                self.working.annotations.add(
+                    QualityAnnotation(
+                        f"source:{name}",
+                        Dimension.ACCURACY,
+                        0.1,
+                        confidence=0.5,
+                        origin="probe-failure",
+                    )
+                )
+        self.working.put("report", "probes", reports)
+        return reports
+
+    def _acquire(self, source: DataSource) -> Table:
+        """Fetch one source, degrading gracefully when it breaks.
+
+        "Veracity represents the uncertainty that is inevitable" — and
+        with thousands of sources, some will be down, malformed, or
+        unwrappable at any given time.  A failing source yields an empty
+        table, a near-zero reliability annotation, and a failure record in
+        the working data; the rest of the pipeline proceeds.
+        """
+        try:
+            if isinstance(source, StructuredSource):
+                table = source.fetch().infer_schema()
+                self.working.put("table", f"raw/{source.name}", table)
+                return table
+            if isinstance(source, DocumentSource):
+                documents = source.fetch()
+                examples = self._examples.get(source.name)
+                if examples:
+                    wrapper = induce_wrapper(
+                        documents, examples, source=source.name
+                    )
+                else:
+                    wrapper = auto_induce(documents, source=source.name)
+                repairer = WrapperRepairer(self.data)
+                wrapper, table, report = repairer.repair(wrapper, documents)
+                self.working.put("wrapper", source.name, wrapper)
+                self.working.put(
+                    "report", f"wrapper-repair/{source.name}", report
+                )
+                table = table.infer_schema()
+                self.working.put("table", f"raw/{source.name}", table)
+                return table
+        except WranglingError as failure:
+            self.working.put("failure", source.name, str(failure))
+            self.working.annotations.add(
+                QualityAnnotation(
+                    f"source:{source.name}",
+                    Dimension.ACCURACY,
+                    0.05,
+                    confidence=0.9,
+                    origin="acquisition-failure",
+                )
+            )
+            self.registry.observe(source.name, False, weight=2.0)
+            empty = Table(source.name, Schema(()))
+            self.working.put("table", f"raw/{source.name}", empty)
+            return empty
+        raise PlanningError(f"unsupported source type: {type(source).__name__}")
+
+    def _match(self, table: Table, plan: WranglePlan) -> list:
+        matcher = SchemaMatcher(
+            self.data,
+            channels=plan.matcher_channels,
+            threshold=plan.match_threshold,
+            feedback=self._match_evidence,
+        )
+        correspondences = matcher.match(table, self.user.target_schema)
+        self.working.put("match", table.name, correspondences)
+        return correspondences
+
+    def _mapping(
+        self, source_name: str, correspondences: list, table: Table
+    ) -> Mapping:
+        mapping = Mapping.from_correspondences(
+            source_name, self.user.target_schema, correspondences,
+            sample_table=table,
+        )
+        self.working.put("mapping", source_name, mapping)
+        return mapping
+
+    def _mapped(self, mapping: Mapping, table: Table) -> Table:
+        mapped = mapping.apply(table)
+        self.working.put("table", f"mapped/{mapping.source_name}", mapped)
+        return mapped
+
+    def _source_quality(self, source_name: str, mapped: Table) -> object:
+        report = self.analyser.analyse(
+            mapped,
+            user=self.user,
+            master_key=self.master_key,
+            join_attribute=self.join_attribute,
+            date_attribute=self.date_attribute,
+            annotate_as=f"source:{source_name}",
+        )
+        self.working.put("report", f"source/{source_name}", report)
+        return report
+
+    def _select(self, plan: WranglePlan, mappings: Mapping | dict) -> list:
+        selector = MappingSelector(self.registry, self.working.annotations)
+        candidates = [
+            mappings[name] for name in plan.sources if name in mappings
+        ]
+        # Acquisition already spent the budget; selection filters on
+        # floors and ranks by the context's weights.
+        unbounded = self.user.with_budget(float("inf"))
+        selected = selector.select(candidates, unbounded)
+        self.working.put("mapping", "selected", [s.mapping.mapping_id for s in selected])
+        return selected
+
+    def _translate(
+        self, selected: list, mapped_tables: dict[str, Table]
+    ) -> Table:
+        translated = Table("translated", self.user.target_schema)
+        for scored in selected:
+            table = mapped_tables.get(scored.mapping.source_name)
+            if table is None:
+                continue
+            for record in table:
+                if self.user.in_scope(record):
+                    translated.append(record)
+        self.working.put("table", "translated", translated)
+        return translated
+
+    def _resolve(self, translated: Table, plan: WranglePlan):
+        comparator = profiled_comparator(self.user.target_schema, translated)
+        rule = ThresholdRule(plan.er_threshold)
+        similarities, vectors, labels = self._er_labelled_pairs(
+            translated, comparator
+        )
+        if len(labels) >= 4:
+            # Threshold fitting is monotone by construction, so judgments
+            # collected on *borderline* pairs (where active acquisition
+            # sends the crowd) generalise safely to the easy mass of
+            # pairs.  A per-field logistic rule is strictly more
+            # expressive but extrapolates disastrously from
+            # borderline-only training data — measured, not speculated
+            # (it drove pair precision to 0.02 on the jobs world).
+            if len(set(labels)) == 2:
+                rule = fit_threshold(similarities, labels)
+            elif not any(labels):
+                # Everything the crowd saw near the threshold was junk:
+                # the cut belongs above the highest rejected pair.
+                floor = min(0.99, max(similarities) + 0.01)
+                rule = ThresholdRule(max(plan.er_threshold, floor))
+            else:
+                # Everything seen was a true duplicate: merging may relax
+                # down to the lowest confirmed pair.
+                ceiling = max(0.5, min(similarities) - 0.01)
+                rule = ThresholdRule(min(plan.er_threshold, ceiling))
+        resolver = EntityResolver(comparator=comparator, rule=rule)
+        result = resolver.resolve(translated)
+        self.working.put("entity", "clusters", result)
+        return result
+
+    def _er_labelled_pairs(self, translated: Table, comparator):
+        """Labelled similarities + field vectors from duplicate feedback.
+
+        The pooled similarity must be the same weighted score the resolver
+        thresholds — fitting on any other scale would learn a threshold in
+        the wrong units.
+        """
+        records = {record.rid: record for record in translated}
+        similarities = []
+        vectors = []
+        labels = []
+        for pair, items in self.feedback.duplicate_verdicts().items():
+            left, right = records.get(pair[0]), records.get(pair[1])
+            if left is None or right is None:
+                continue
+            votes = [item.is_duplicate for item in items]
+            verdict = sum(votes) * 2 > len(votes)
+            similarities.append(comparator.similarity(left, right))
+            vectors.append(comparator.vector(left, right))
+            labels.append(verdict)
+        return similarities, vectors, labels
+
+    def _source_reliabilities(self) -> dict[str, float]:
+        """Per-source trust for fusion: the feedback-driven posterior
+        blended with whatever the quality analyses (probes included) have
+        annotated — all the available information, not just one channel."""
+        scores = {}
+        for name, posterior in self.registry.reliability_scores().items():
+            annotated = self.working.annotations.score(
+                f"source:{name}", Dimension.ACCURACY, default=posterior
+            )
+            scores[name] = 0.5 * posterior + 0.5 * annotated
+        return scores
+
+    def _fuse(self, resolution, plan: WranglePlan) -> Table:
+        fuser = EntityFuser(
+            self.user.target_schema,
+            reliabilities=self._source_reliabilities(),
+            default_strategy=plan.fusion_strategy,
+            strategy_overrides=plan.fusion_overrides,
+            recency_attribute=self.date_attribute,
+        )
+        fused = fuser.fuse(resolution.clusters)
+        fused = self._apply_value_verdicts(fused, resolution)
+        self.working.put("table", "wrangled", fused)
+        return fused
+
+    def _apply_value_verdicts(self, fused: Table, resolution) -> Table:
+        """Fold consolidated value feedback into the fused data itself.
+
+        A rejected cell takes the user's correction when one was supplied;
+        otherwise the rejected value's candidates are excluded and the
+        attribute is re-fused from the remaining claims.  (Cluster ids are
+        stable under value feedback because it never invalidates the
+        resolve node, so entity references stay valid.)
+        """
+        verdicts = self.feedback.value_verdicts()
+        if not verdicts:
+            return fused
+        from collections import Counter
+
+        from repro.fusion.strategies import Candidate, resolve as fuse_resolve
+        from repro.model.provenance import Step
+
+        clusters = {c.cluster_id: c for c in resolution.clusters}
+        reliabilities = self._source_reliabilities()
+
+        def fix(record: Record) -> Record:
+            updates = {}
+            for (entity, attribute), items in verdicts.items():
+                if entity != record.rid or attribute not in record.cells:
+                    continue
+                votes = [item.is_correct for item in items]
+                if 2 * sum(votes) >= len(votes):
+                    continue  # not rejected
+                current = record.get(attribute)
+                if current.is_missing:
+                    continue
+                corrections = [
+                    item.correction for item in items
+                    if item.correction is not None
+                ]
+                if corrections:
+                    best = Counter(corrections).most_common(1)[0][0]
+                    updates[attribute] = current.with_raw(
+                        best, Step.FEEDBACK, "user-correction"
+                    )
+                    continue
+                cluster = clusters.get(record.rid)
+                if cluster is None:
+                    continue
+                alternatives = [
+                    Candidate(
+                        value,
+                        member.source,
+                        reliabilities.get(member.source, 0.5),
+                    )
+                    for member in cluster.records
+                    for value in (member.get(attribute),)
+                    if not value.is_missing and value.raw != current.raw
+                ]
+                if alternatives:
+                    choice = fuse_resolve("weighted", alternatives)
+                    updates[attribute] = current.with_raw(
+                        choice.value.raw, Step.FEEDBACK, "rejected-value"
+                    )
+            if updates:
+                return record.with_cells(updates)
+            return record
+
+        return fused.map_records(fix)
+
+    def _repair(self, fused: Table, plan: WranglePlan):
+        constraints = list(self.constraints)
+        if plan.run_repair and self.discover_constraints:
+            # Hand-written constraints do not scale to many sources:
+            # mine near-exact dependencies from the fused data itself and
+            # repair their few violations (approximate FDs are exactly
+            # what dirty-but-mostly-regular data exhibits).
+            from repro.quality.discovery import discover_fds
+
+            mined = discover_fds(fused, max_lhs=1, max_error=0.05)
+            for discovered in mined:
+                if not discovered.is_exact:
+                    constraints.append(discovered.fd)
+            self.working.put(
+                "report", "discovered-constraints",
+                [d.fd.name for d in mined],
+            )
+        if not plan.run_repair or not constraints:
+            return None
+        result = repair_table(fused, constraints)
+        self.working.put("table", "wrangled", result.table)
+        return result
+
+    # -- dataflow assembly ----------------------------------------------------
+
+    def _build_flow(self) -> Dataflow:
+        flow = Dataflow()
+        flow.add("probe", lambda inputs: self._probe_all())
+        flow.add(
+            "plan",
+            lambda inputs: self.planner.plan(
+                self.user, self.data, self.registry, self.working.annotations
+            ),
+            ("probe",),
+        )
+        source_names = self.registry.names()
+        for name in source_names:
+            source = self.registry.get(name)
+            flow.add(
+                f"acquire:{name}",
+                lambda inputs, s=source: (
+                    self._acquire(s)
+                    if s.name in inputs["plan"].sources
+                    else Table(s.name, Schema(()))
+                ),
+                ("plan",),
+            )
+            flow.add(
+                f"match:{name}",
+                lambda inputs, n=name: self._match(
+                    inputs[f"acquire:{n}"], inputs["plan"]
+                ),
+                (f"acquire:{name}", "plan"),
+            )
+            flow.add(
+                f"mapping:{name}",
+                lambda inputs, n=name: self._mapping(
+                    n, inputs[f"match:{n}"], inputs[f"acquire:{n}"]
+                ),
+                (f"match:{name}", f"acquire:{name}"),
+            )
+            flow.add(
+                f"mapped:{name}",
+                lambda inputs, n=name: self._mapped(
+                    inputs[f"mapping:{n}"], inputs[f"acquire:{n}"]
+                ),
+                (f"mapping:{name}", f"acquire:{name}"),
+            )
+            flow.add(
+                f"quality:{name}",
+                lambda inputs, n=name: self._source_quality(
+                    n, inputs[f"mapped:{n}"]
+                ),
+                (f"mapped:{name}",),
+            )
+        mapping_deps = tuple(f"mapping:{n}" for n in source_names)
+        quality_deps = tuple(f"quality:{n}" for n in source_names)
+        flow.add(
+            "select",
+            lambda inputs: self._select(
+                inputs["plan"],
+                {
+                    name: inputs[f"mapping:{name}"]
+                    for name in source_names
+                },
+            ),
+            ("plan",) + mapping_deps + quality_deps,
+        )
+        flow.add(
+            "translate",
+            lambda inputs: self._translate(
+                inputs["select"],
+                {name: inputs[f"mapped:{name}"] for name in source_names},
+            ),
+            ("select",) + tuple(f"mapped:{n}" for n in source_names),
+        )
+        flow.add(
+            "resolve",
+            lambda inputs: self._resolve(inputs["translate"], inputs["plan"]),
+            ("translate", "plan"),
+        )
+        flow.add(
+            "fuse",
+            lambda inputs: self._fuse(inputs["resolve"], inputs["plan"]),
+            ("resolve", "plan"),
+        )
+        flow.add(
+            "repair",
+            lambda inputs: self._repair(inputs["fuse"], inputs["plan"]),
+            ("fuse", "plan"),
+        )
+        return flow
+
+    @property
+    def flow(self) -> Dataflow:
+        """The pipeline dataflow (built on first use)."""
+        if self._flow is None:
+            if not len(self.registry):
+                raise PlanningError("no sources registered")
+            self._flow = self._build_flow()
+        return self._flow
+
+    # -- running ----------------------------------------------------------
+
+    def run(self) -> WrangleResult:
+        """Execute (or incrementally refresh) the pipeline."""
+        flow = self.flow
+        repair_result = flow.pull("repair")
+        fused = flow.value("fuse")
+        wrangled = repair_result.table if repair_result is not None else fused
+        plan = flow.value("plan")
+        quality = self.analyser.analyse(
+            wrangled,
+            user=self.user,
+            master_key=self.master_key,
+            join_attribute=self.join_attribute,
+            date_attribute=self.date_attribute,
+            constraints=self.constraints or None,
+            annotate_as="table:wrangled",
+        )
+        source_reports = {
+            name: flow.value(f"quality:{name}")
+            for name in self.registry.names()
+            if flow.is_clean(f"quality:{name}")
+        }
+        # Velocity monitoring: snapshot the wrangled data whenever it was
+        # actually recomputed, so consecutive runs are diffable.
+        produced = flow.runs("fuse") + flow.runs("repair")
+        if produced != self._recorded_fuse_runs:
+            self.history.record(wrangled)
+            self._recorded_fuse_runs = produced
+        return WrangleResult(
+            table=wrangled,
+            plan=plan,
+            quality=quality,
+            mappings=flow.value("select") or [],
+            resolution=flow.value("resolve"),
+            repair=repair_result,
+            source_reports=source_reports,
+            access_cost=self.registry.total_cost(),
+            feedback_cost=self.feedback.total_cost(),
+        )
+
+    # -- pay-as-you-go --------------------------------------------------------
+
+    def apply_feedback(self, items: Sequence[Feedback]) -> None:
+        """Record feedback, propagate it everywhere, invalidate precisely.
+
+        Each feedback type dirties only the dataflow nodes it can affect;
+        the next :meth:`run` recomputes just that cone (experiment E6
+        measures the savings).
+        """
+        flow = self.flow
+        self.feedback.extend(list(items))
+        wrangled = self.working.get("table", "wrangled")
+        propagator = FeedbackPropagator(
+            self.feedback, self.registry, self.working.annotations
+        )
+        report = propagator.propagate(wrangled=wrangled)
+        self._match_evidence = dict(report.match_evidence)
+
+        invalidated: set[str] = set()
+        for item in items:
+            if isinstance(item, ValueFeedback):
+                # Reliabilities moved: fusion weights and source scores.
+                invalidated.update(("fuse", "select"))
+            elif isinstance(item, MatchFeedback):
+                if item.source_name and item.source_name in self.registry:
+                    invalidated.add(f"match:{item.source_name}")
+                else:
+                    for name in self.registry.names():
+                        invalidated.add(f"match:{name}")
+            elif isinstance(item, DuplicateFeedback):
+                invalidated.add("resolve")
+            elif isinstance(item, RelevanceFeedback):
+                invalidated.add("select")
+            elif isinstance(item, ExtractionFeedback):
+                for name in self.registry.names():
+                    if isinstance(self.registry.get(name), DocumentSource):
+                        invalidated.add(f"acquire:{name}")
+        # Feedback also informs *source selection* (Section 2.4): if the
+        # shifted beliefs say a materially better source set exists,
+        # replan — acquisition of newly selected sources is then a
+        # legitimate, paid-for recomputation.  The 10% profit hysteresis
+        # keeps near-tie oscillations from thrashing the pipeline.
+        current_plan = flow.value("plan")
+        if current_plan is not None:
+            fresh_plan = self.planner.plan(
+                self.user, self.data, self.registry, self.working.annotations
+            )
+            if set(fresh_plan.sources) != set(current_plan.sources):
+                from repro.selection.source_selection import SourceSelector
+
+                profiles = {
+                    p.name: p
+                    for p in SourceSelector.profiles_from_registry(
+                        self.registry, self.working.annotations
+                    )
+                }
+                selector = self.planner.selector
+
+                def profit(names: Sequence[str]) -> float:
+                    chosen = [profiles[n] for n in names if n in profiles]
+                    return selector.gain(chosen) - sum(p.cost for p in chosen)
+
+                if profit(fresh_plan.sources) > 1.1 * profit(
+                    current_plan.sources
+                ) + 1.0:
+                    invalidated.add("plan")
+
+        for node in sorted(invalidated):
+            flow.invalidate(node)
+
+    def refresh_source(self, source_name: str) -> None:
+        """Re-acquire one (volatile) source on the next run — Velocity.
+
+        Only that source's acquisition cone recomputes; the other sources'
+        extractions, matches, and mappings stay memoised.
+        """
+        if source_name not in self.registry:
+            raise PlanningError(f"no source registered under {source_name!r}")
+        self.flow.invalidate(f"acquire:{source_name}")
+
+    def relations(self) -> dict[str, Table]:
+        """The queryable relations of the working data (dataspace view).
+
+        ``wrangled`` plus every raw and mapped source table, addressable
+        as ``raw/<source>`` and ``mapped/<source>`` — "storing intermediate
+        results of the ETL process for on-demand recombination"
+        (Section 4.2).
+        """
+        return {key: table for key, table in self.working.items("table")}
+
+    def query(self, cq) -> list[dict[str, object]]:
+        """Run a conjunctive query over the working-data relations.
+
+        Relations resolve by the names :meth:`relations` exposes; the
+        wrangled data is the relation ``"wrangled"``.
+        """
+        return cq.evaluate(self.relations())
+
+    def changes_since_last_run(self):
+        """Typed diff between the two most recent wrangled snapshots.
+
+        The payoff of Velocity handling: after :meth:`refresh_source` (or
+        feedback) and a re-run, this reports exactly which entities
+        appeared, disappeared, or changed value — price moves included.
+        """
+        return self.history.diff_latest()
+
+    def recompute_count(self) -> int:
+        """Total node computations so far (the incrementality metric)."""
+        return self.flow.total_runs()

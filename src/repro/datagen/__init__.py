@@ -1,0 +1,66 @@
+"""Synthetic worlds with controlled 4-V knobs (see DESIGN.md, substitutions).
+
+These generators stand in for the paper's live web sources: every V —
+volume, velocity, variety, veracity — is an explicit, seeded parameter, so
+the benchmarks can vary one V at a time and report the effect.
+"""
+
+from repro.datagen.corrupt import (
+    format_date,
+    format_price,
+    jitter_geo,
+    maybe,
+    misspell,
+    perturb_price,
+)
+from repro.datagen.htmlgen import (
+    HtmlSite,
+    TEMPLATES,
+    annotations_for,
+    random_listings,
+    render_site,
+)
+from repro.datagen.jobs import JOB_SCHEMA, JobWorld, generate_job_world, job_ontology
+from repro.datagen.locations import (
+    LOCATION_SCHEMA,
+    LocationWorld,
+    generate_location_world,
+)
+from repro.datagen.ontologies import location_ontology, product_ontology
+from repro.datagen.products import (
+    TARGET_SCHEMA,
+    TRUTH_COLUMN,
+    ProductWorld,
+    SourceSpec,
+    default_specs,
+    generate_world,
+)
+
+__all__ = [
+    "HtmlSite",
+    "JOB_SCHEMA",
+    "JobWorld",
+    "LOCATION_SCHEMA",
+    "LocationWorld",
+    "ProductWorld",
+    "SourceSpec",
+    "TARGET_SCHEMA",
+    "TEMPLATES",
+    "TRUTH_COLUMN",
+    "annotations_for",
+    "default_specs",
+    "format_date",
+    "format_price",
+    "generate_job_world",
+    "generate_location_world",
+    "generate_world",
+    "jitter_geo",
+    "job_ontology",
+    "location_ontology",
+    "maybe",
+    "misspell",
+    "perturb_price",
+    "product_ontology",
+    "random_listings",
+    "render_site",
+]

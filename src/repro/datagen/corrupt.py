@@ -1,0 +1,85 @@
+"""Noise primitives: the Veracity knob of the synthetic worlds.
+
+"Veracity represents the uncertainty that is inevitable in such a complex
+environment" (Section 1).  Every generator injects errors through these
+primitives so that error rates are controlled, seeded, and reported to
+EXPERIMENTS.md alongside the measured results.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+import string
+
+__all__ = [
+    "misspell",
+    "perturb_price",
+    "format_price",
+    "format_date",
+    "jitter_geo",
+    "maybe",
+]
+
+
+def maybe(rng: random.Random, probability: float) -> bool:
+    """True with the given probability."""
+    return rng.random() < probability
+
+
+def misspell(text: str, rng: random.Random) -> str:
+    """Introduce one realistic typo: swap, drop, double, or replace a char."""
+    if len(text) < 3:
+        return text
+    index = rng.randrange(1, len(text) - 1)
+    kind = rng.choice(("swap", "drop", "double", "replace"))
+    if kind == "swap":
+        chars = list(text)
+        chars[index], chars[index - 1] = chars[index - 1], chars[index]
+        return "".join(chars)
+    if kind == "drop":
+        return text[:index] + text[index + 1:]
+    if kind == "double":
+        return text[:index] + text[index] + text[index:]
+    return text[:index] + rng.choice(string.ascii_lowercase) + text[index + 1:]
+
+
+def perturb_price(price: float, rng: random.Random, spread: float = 0.15) -> float:
+    """A wrong price: multiplicative noise of up to ``spread``, or a
+    magnitude error (off by 10x) once in twenty times."""
+    if maybe(rng, 0.05):
+        return round(price * rng.choice((0.1, 10.0)), 2)
+    factor = 1.0 + rng.uniform(-spread, spread)
+    return max(0.01, round(price * factor, 2))
+
+
+_PRICE_STYLES = (
+    lambda p: f"${p:,.2f}",
+    lambda p: f"£{p:,.2f}",
+    lambda p: f"{p:.2f} USD",
+    lambda p: f"€ {p:.2f}",
+    lambda p: f"${p:.0f}" if float(p) == int(p) else f"${p:.2f}",
+)
+
+
+def format_price(price: float, rng: random.Random) -> str:
+    """Render a price in one of several real-world formats (Variety)."""
+    return rng.choice(_PRICE_STYLES)(price)
+
+
+_DATE_STYLES = ("%Y-%m-%d", "%d/%m/%Y", "%b %d, %Y")
+
+
+def format_date(date: _dt.date, rng: random.Random) -> str:
+    """Render a date in one of several formats (Variety)."""
+    return date.strftime(rng.choice(_DATE_STYLES))
+
+
+def jitter_geo(
+    lat: float, lon: float, rng: random.Random, magnitude: float = 0.05
+) -> tuple[float, float]:
+    """Displace a coordinate pair — Example 3's "wrong geo-locations"."""
+    return (
+        round(lat + rng.uniform(-magnitude, magnitude), 6),
+        round(lon + rng.uniform(-magnitude, magnitude), 6),
+    )

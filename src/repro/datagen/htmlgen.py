@@ -1,0 +1,180 @@
+"""Rendering synthetic catalogs into heterogeneous web sites.
+
+Example 1 needs "thousands of sites ... variety in format"; this module
+renders product listings through several HTML templates with genuinely
+different DOM shapes, so that wrapper induction, automatic extraction, and
+WADaR-style repair are exercised on the same code paths as real deep-web
+extraction:
+
+* ``grid``   — class-annotated ``div`` layout (clean, class-addressable);
+* ``table``  — bare ``<td>`` cells (forces positional/index rules);
+* ``messy``  — the price and availability are concatenated into one text
+  blob (forces recogniser-based re-segmentation, i.e. repair).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from html import escape
+
+from repro.extraction.induction import ExampleAnnotation
+from repro.sources.base import Document
+
+__all__ = ["HtmlSite", "render_site", "annotations_for", "TEMPLATES"]
+
+TEMPLATES = ("grid", "table", "messy")
+
+
+@dataclass
+class HtmlSite:
+    """A rendered synthetic site: pages plus per-record rendered strings."""
+
+    name: str
+    template: str
+    pages: list[tuple[str, str]]
+    listings: list[dict[str, str]]
+
+    def documents(self) -> list[Document]:
+        """The site's pages as :class:`Document` objects."""
+        return [
+            Document(url=url, html=html, source=self.name)
+            for url, html in self.pages
+        ]
+
+
+def _grid_item(listing: dict[str, str]) -> str:
+    return (
+        '<div class="product">'
+        f'<h2 class="title">{escape(listing["product"])}</h2>'
+        f'<span class="brand">{escape(listing["brand"])}</span>'
+        f'<span class="price">{escape(listing["price"])}</span>'
+        f'<a class="link" href="{escape(listing["url"])}">view offer</a>'
+        f'<span class="date">{escape(listing["updated"])}</span>'
+        "</div>"
+    )
+
+
+def _table_item(listing: dict[str, str]) -> str:
+    return (
+        '<tr class="item">'
+        f"<td>{escape(listing['product'])}</td>"
+        f"<td>{escape(listing['brand'])}</td>"
+        f"<td>{escape(listing['price'])}</td>"
+        f"<td>{escape(listing['updated'])}</td>"
+        "</tr>"
+    )
+
+
+def _messy_item(listing: dict[str, str]) -> str:
+    blob = f"{listing['product']} — now only {listing['price']} (in stock)"
+    return (
+        '<li class="offer">'
+        f'<span class="desc">{escape(blob)}</span>'
+        f'<span class="meta">checked {escape(listing["updated"])} · '
+        f'{escape(listing["brand"])}</span>'
+        "</li>"
+    )
+
+
+def _wrap_page(site: str, body: str, template: str) -> str:
+    if template == "table":
+        body = f'<table class="items">{body}</table>'
+    elif template == "messy":
+        body = f'<ul class="offers">{body}</ul>'
+    else:
+        body = f'<div class="listing">{body}</div>'
+    return (
+        "<html><head><title>"
+        f"{escape(site)}</title></head><body>"
+        f'<div class="header"><h1>{escape(site)}</h1>'
+        '<p class="tagline">best prices on the web</p></div>'
+        f"{body}"
+        '<div class="footer">© 2016 example shop</div>'
+        "</body></html>"
+    )
+
+
+_ITEM_RENDERERS = {
+    "grid": _grid_item,
+    "table": _table_item,
+    "messy": _messy_item,
+}
+
+
+def render_site(
+    name: str,
+    listings: list[dict[str, str]],
+    template: str = "grid",
+    page_size: int = 20,
+) -> HtmlSite:
+    """Render canonical listing dicts into a paginated site.
+
+    ``listings`` values must already be display strings (formatted prices
+    and dates); they are recorded verbatim on the returned site so tests
+    and annotation generators know exactly what is on each page.
+    """
+    if template not in _ITEM_RENDERERS:
+        raise ValueError(f"unknown template {template!r}; use one of {TEMPLATES}")
+    renderer = _ITEM_RENDERERS[template]
+    pages = []
+    for start in range(0, max(len(listings), 1), page_size):
+        chunk = listings[start:start + page_size]
+        body = "".join(renderer(listing) for listing in chunk)
+        url = f"https://{name}.example.com/page/{start // page_size + 1}"
+        pages.append((url, _wrap_page(name, body, template)))
+    return HtmlSite(name, template, pages, listings)
+
+
+def annotations_for(site: HtmlSite, count: int = 3) -> list[ExampleAnnotation]:
+    """User-style annotations for the first ``count`` records of a site.
+
+    What a user would highlight: the product title and the price text as
+    they appear on the page (for messy sites, the price substring inside
+    the blob).
+    """
+    annotations = []
+    page_size = max(
+        1, len(site.listings) // max(len(site.pages), 1)
+    ) if site.pages else 1
+    for index, listing in enumerate(site.listings[:count]):
+        page_index = min(index // page_size, len(site.pages) - 1)
+        url = site.pages[page_index][0]
+        annotations.append(
+            ExampleAnnotation(
+                url,
+                {
+                    "product": listing["product"],
+                    "price": listing["price"],
+                    "updated": listing["updated"],
+                },
+            )
+        )
+    return annotations
+
+
+def random_listings(
+    n: int, rng: random.Random, price_low: float = 10.0, price_high: float = 900.0
+) -> list[dict[str, str]]:
+    """Stand-alone canonical listings for extraction-only tests."""
+    from repro.datagen.corrupt import format_date, format_price
+    import datetime as _dt
+
+    brands = ("Acme", "Globex", "Initech", "Stark")
+    nouns = ("Laptop", "Camera", "Monitor", "Tablet")
+    listings = []
+    for index in range(n):
+        brand = rng.choice(brands)
+        noun = rng.choice(nouns)
+        price = round(rng.uniform(price_low, price_high), 2)
+        date = _dt.date(2016, 3, 15) - _dt.timedelta(days=rng.randint(0, 60))
+        listings.append(
+            {
+                "product": f"{brand} {noun} {rng.randint(100, 999)}",
+                "brand": brand,
+                "price": format_price(price, rng),
+                "url": f"https://shop.example.com/item/{index}",
+                "updated": format_date(date, rng),
+            }
+        )
+    return listings

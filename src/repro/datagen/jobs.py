@@ -1,0 +1,165 @@
+"""The job-postings world — the third long-tail domain of Section 2.2.
+
+"Fully-automated, large scale collection of long-tail, business-related
+data, e.g., products, jobs or locations, is possible."  Job boards are the
+classic aggregation mess: the same vacancy syndicated across boards with
+retitled postings, salary ranges formatted every which way, and expired
+posts lingering — Veracity and Velocity in one feed.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from dataclasses import dataclass
+
+from repro.datagen.corrupt import maybe, misspell
+from repro.model.records import Table
+from repro.model.schema import Attribute, DataType, Schema
+
+__all__ = ["JOB_SCHEMA", "JobWorld", "generate_job_world"]
+
+JOB_SCHEMA = Schema(
+    (
+        Attribute("title", DataType.STRING, required=True,
+                  description="job title"),
+        Attribute("company", DataType.STRING, required=True,
+                  description="employer"),
+        Attribute("city", DataType.STRING, required=True,
+                  description="job location"),
+        Attribute("salary", DataType.CURRENCY, description="annual salary"),
+        Attribute("posted", DataType.DATE, description="posting date"),
+        Attribute("url", DataType.URL, description="posting page"),
+    )
+)
+
+_ROLES = (
+    "Data Engineer", "Backend Developer", "Product Manager",
+    "UX Designer", "Site Reliability Engineer", "Data Scientist",
+    "QA Analyst", "Solutions Architect",
+)
+_SENIORITY = ("Junior", "", "Senior", "Lead", "Principal")
+_COMPANIES = (
+    "Acme Systems", "Globex Digital", "Initech Labs", "Hooli Cloud",
+    "Stark Analytics", "Wayne Software", "Aperture Data",
+)
+_CITIES = ("Oxford", "Edinburgh", "Manchester", "London", "Birmingham")
+
+#: Boards retitle syndicated postings in predictable ways.
+_TITLE_STYLES = (
+    lambda title, city: title,
+    lambda title, city: f"{title} - {city}",
+    lambda title, city: title.upper(),
+    lambda title, city: f"{title} (hybrid)",
+)
+
+_SALARY_STYLES = (
+    lambda s: f"£{s:,.0f}",
+    lambda s: f"£{s / 1000:.0f}k",
+    lambda s: f"{s:,.0f} GBP",
+)
+
+
+@dataclass
+class JobWorld:
+    """Ground-truth vacancies plus the boards syndicating them."""
+
+    ground_truth: Table
+    board_rows: dict[str, list[dict[str, object]]]
+    today: _dt.date = _dt.date(2016, 3, 15)
+
+
+def generate_job_world(
+    n_jobs: int = 60,
+    n_boards: int = 4,
+    seed: int = 77,
+    expired_rate: float = 0.15,
+) -> JobWorld:
+    """Generate vacancies and syndicated, noisy board listings."""
+    rng = random.Random(seed)
+    today = _dt.date(2016, 3, 15)
+    truth_rows = []
+    for index in range(n_jobs):
+        seniority = rng.choice(_SENIORITY)
+        role = rng.choice(_ROLES)
+        title = f"{seniority} {role}".strip()
+        truth_rows.append(
+            {
+                "job_id": f"J{index:04d}",
+                "title": title,
+                "company": rng.choice(_COMPANIES),
+                "city": rng.choice(_CITIES),
+                "salary": float(rng.randrange(28, 120) * 1000),
+                "posted": (
+                    today - _dt.timedelta(days=rng.randint(0, 20))
+                ).isoformat(),
+                "url": f"https://careers.example.com/j/{index}",
+            }
+        )
+    ground_truth = Table.from_rows("jobs-truth", truth_rows, source="ground-truth")
+
+    board_rows: dict[str, list[dict[str, object]]] = {}
+    for board_index in range(n_boards):
+        board = f"board-{board_index}"
+        style = _TITLE_STYLES[board_index % len(_TITLE_STYLES)]
+        salary_style = _SALARY_STYLES[board_index % len(_SALARY_STYLES)]
+        rows = []
+        for row in truth_rows:
+            if not maybe(rng, rng.uniform(0.5, 0.85)):
+                continue
+            title = style(str(row["title"]), str(row["city"]))
+            if maybe(rng, 0.15):
+                title = misspell(title, rng)
+            posted = _dt.date.fromisoformat(str(row["posted"]))
+            if maybe(rng, expired_rate):
+                posted = posted - _dt.timedelta(days=rng.randint(45, 120))
+            salary = float(row["salary"])  # boards round differently
+            if maybe(rng, 0.2):
+                salary = round(salary * rng.uniform(0.95, 1.05), -3)
+            rows.append(
+                {
+                    "_truth": row["job_id"],
+                    "position": title,
+                    "employer": row["company"],
+                    "location": row["city"],
+                    "pay": salary_style(salary),
+                    "listed": posted.isoformat(),
+                    "link": f"https://{board}.example.com/{row['job_id']}",
+                }
+            )
+        board_rows[board] = rows
+    return JobWorld(ground_truth, board_rows, today)
+
+
+def job_ontology():
+    """A small recruitment ontology for the data context."""
+    from repro.context.ontology import Ontology
+
+    onto = Ontology("jobs")
+    onto.add_concept("Thing")
+    onto.add_concept("JobPosting", parent="Thing",
+                     synonyms=["vacancy", "position", "opening", "role"])
+    onto.add_property(
+        "title", "JobPosting", DataType.STRING,
+        synonyms=["position", "role", "job title"],
+    )
+    onto.add_property(
+        "company", "JobPosting", DataType.STRING,
+        synonyms=["employer", "organisation", "hiring company"],
+    )
+    onto.add_property(
+        "city", "JobPosting", DataType.STRING,
+        synonyms=["location", "place", "job location"],
+    )
+    onto.add_property(
+        "salary", "JobPosting", DataType.CURRENCY,
+        synonyms=["pay", "compensation", "wage"],
+    )
+    onto.add_property(
+        "posted", "JobPosting", DataType.DATE,
+        synonyms=["listed", "published", "date posted"],
+    )
+    onto.add_property(
+        "url", "JobPosting", DataType.URL, synonyms=["link", "apply at"],
+    )
+    return onto

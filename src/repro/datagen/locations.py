@@ -1,0 +1,179 @@
+"""The business-locations world (paper Example 3).
+
+Social networks acquire business locations from check-ins, which "is prone
+to data quality problems, e.g., wrong geo-locations, misspelled or fantasy
+places"; curated directories are expensive and not guaranteed clean; the
+businesses' own websites are the authoritative long tail.  This generator
+produces all three source families over one ground truth so the
+context-informed extraction/cleaning claims can be measured.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datagen.corrupt import jitter_geo, maybe, misspell
+from repro.model.records import Table
+from repro.model.schema import Attribute, DataType, Schema
+
+__all__ = ["LocationWorld", "generate_location_world", "LOCATION_SCHEMA"]
+
+LOCATION_SCHEMA = Schema(
+    (
+        Attribute("business", DataType.STRING, required=True),
+        Attribute("category", DataType.STRING),
+        Attribute("street", DataType.STRING),
+        Attribute("city", DataType.STRING, required=True),
+        Attribute("postcode", DataType.STRING),
+        Attribute("phone", DataType.STRING),
+        Attribute("geo", DataType.GEO),
+        Attribute("url", DataType.URL),
+    )
+)
+
+_CITIES = {
+    "Oxford": (51.752, -1.2577),
+    "Edinburgh": (55.9533, -3.1883),
+    "Birmingham": (52.4862, -1.8904),
+    "Manchester": (53.4808, -2.2426),
+    "London": (51.5074, -0.1278),
+}
+_CATEGORIES = ("restaurant", "cafe", "cinema", "gym", "bookshop", "bar")
+_NAME_PARTS = (
+    "Golden", "Royal", "Old", "Corner", "Velvet", "Urban", "Happy", "Silver",
+)
+_NAME_NOUNS = ("Fork", "Bean", "Screen", "Page", "Lion", "Anchor", "Garden")
+_STREETS = ("High St", "Church Rd", "Station Rd", "Mill Lane", "Park Ave")
+
+
+@dataclass
+class LocationWorld:
+    """Ground truth plus the three source families of Example 3."""
+
+    ground_truth: Table
+    checkin_rows: list[dict[str, object]]
+    directory_rows: list[dict[str, object]]
+    website_rows: list[dict[str, object]]
+
+    def truth_by_id(self) -> dict[str, dict[str, object]]:
+        """Ground-truth rows keyed by business id."""
+        return {
+            record.raw("business_id"): record.to_dict()
+            for record in self.ground_truth
+        }
+
+
+def _postcode(rng: random.Random, city: str) -> str:
+    prefix = {"Oxford": "OX", "Edinburgh": "EH", "Birmingham": "B",
+              "Manchester": "M", "London": "SW"}[city]
+    return f"{prefix}{rng.randint(1, 20)} {rng.randint(1, 9)}{rng.choice('ABCDEFG')}{rng.choice('ABCDEFG')}"
+
+
+def generate_location_world(
+    n_businesses: int = 80,
+    seed: int = 7,
+    checkin_geo_error: float = 0.25,
+    checkin_fantasy_rate: float = 0.08,
+    directory_staleness: float = 0.1,
+) -> LocationWorld:
+    """Generate the Example 3 world, deterministic per seed."""
+    rng = random.Random(seed)
+    truth_rows = []
+    for index in range(n_businesses):
+        city = rng.choice(sorted(_CITIES))
+        base_lat, base_lon = _CITIES[city]
+        lat, lon = jitter_geo(base_lat, base_lon, rng, magnitude=0.02)
+        name = (
+            f"The {rng.choice(_NAME_PARTS)} {rng.choice(_NAME_NOUNS)}"
+            f" {rng.randint(1, 99) if maybe(rng, 0.2) else ''}".strip()
+        )
+        slug = name.lower().replace(" ", "-")
+        truth_rows.append(
+            {
+                "business_id": f"B{index:04d}",
+                "business": name,
+                "category": rng.choice(_CATEGORIES),
+                "street": f"{rng.randint(1, 200)} {rng.choice(_STREETS)}",
+                "city": city,
+                "postcode": _postcode(rng, city),
+                "phone": f"+44 {rng.randint(1000, 9999)} {rng.randint(100000, 999999)}",
+                "geo": f"{lat}, {lon}",
+                "url": f"https://{slug}.example.co.uk",
+            }
+        )
+    ground_truth = Table.from_rows("locations-truth", truth_rows, source="ground-truth")
+
+    # Check-in source: broad coverage, noisy geo, misspellings, fantasy rows.
+    checkin_rows: list[dict[str, object]] = []
+    for row in truth_rows:
+        if not maybe(rng, 0.9):
+            continue
+        lat, lon = (float(part) for part in str(row["geo"]).split(","))
+        if maybe(rng, checkin_geo_error):
+            lat, lon = jitter_geo(lat, lon, rng, magnitude=0.5)
+        name = str(row["business"])
+        if maybe(rng, 0.2):
+            name = misspell(name, rng)
+        checkin_rows.append(
+            {
+                "_truth": row["business_id"],
+                "place": name,
+                "kind": row["category"],
+                "town": row["city"],
+                "coords": f"{lat}, {lon}",
+                "checkins": rng.randint(1, 500),
+            }
+        )
+    for index in range(int(n_businesses * checkin_fantasy_rate)):
+        city = rng.choice(sorted(_CITIES))
+        lat, lon = jitter_geo(*_CITIES[city], rng, magnitude=0.1)
+        checkin_rows.append(
+            {
+                "_truth": None,  # fantasy place: no true business
+                "place": f"{rng.choice(_NAME_PARTS)}town {rng.choice(_NAME_NOUNS)}land",
+                "kind": rng.choice(_CATEGORIES),
+                "town": city,
+                "coords": f"{lat}, {lon}",
+                "checkins": rng.randint(1, 20),
+            }
+        )
+    rng.shuffle(checkin_rows)
+
+    # Curated directory: expensive, mostly clean, partial coverage.
+    directory_rows = []
+    for row in truth_rows:
+        if not maybe(rng, 0.6):
+            continue
+        entry = {
+            "_truth": row["business_id"],
+            "name": row["business"],
+            "category": row["category"],
+            "address": f"{row['street']}, {row['city']} {row['postcode']}",
+            "telephone": row["phone"],
+            "location": row["geo"],
+        }
+        if maybe(rng, directory_staleness):
+            entry["telephone"] = None
+        directory_rows.append(entry)
+
+    # Business websites: authoritative but must be wrapped per site.
+    website_rows = []
+    for row in truth_rows:
+        if not maybe(rng, 0.75):
+            continue
+        website_rows.append(
+            {
+                "_truth": row["business_id"],
+                "business": row["business"],
+                "category": row["category"],
+                "street": row["street"],
+                "city": row["city"],
+                "postcode": row["postcode"],
+                "phone": row["phone"],
+                "geo": row["geo"],
+                "url": row["url"],
+            }
+        )
+
+    return LocationWorld(ground_truth, checkin_rows, directory_rows, website_rows)

@@ -1,0 +1,116 @@
+"""Built-in domain ontologies standing in for schema.org / productontology.
+
+Example 4: "there are standard formats, for example in schema.org, for
+describing products and offers, and there are ontologies that describe
+products, such as The Product Types Ontology".  These builders produce the
+equivalents our data contexts attach.
+"""
+
+from __future__ import annotations
+
+from repro.context.ontology import Ontology
+from repro.model.schema import DataType
+
+__all__ = ["product_ontology", "location_ontology"]
+
+
+def product_ontology() -> Ontology:
+    """A product-domain ontology covering the price-intelligence world."""
+    onto = Ontology("products")
+    onto.add_concept("Thing")
+    onto.add_concept("Product", parent="Thing", synonyms=["item", "article", "good"])
+    onto.add_concept("Offer", parent="Thing", synonyms=["deal", "listing"])
+    onto.add_concept(
+        "Electronics", parent="Product", synonyms=["electronic device"]
+    )
+    for name, synonyms in (
+        ("Television", ["tv", "tv set", "telly"]),
+        ("Laptop", ["notebook", "portable computer"]),
+        ("Headphones", ["earphones", "headset"]),
+        ("Camera", ["digital camera"]),
+        ("Smartphone", ["mobile phone", "cell phone", "phone"]),
+        ("Tablet", ["tablet computer", "pad"]),
+        ("Monitor", ["display", "screen"]),
+        ("Printer", []),
+    ):
+        onto.add_concept(name, parent="Electronics", synonyms=synonyms)
+
+    onto.add_property(
+        "product", "Product", DataType.STRING,
+        synonyms=["name", "title", "product name", "product_name"],
+    )
+    onto.add_property(
+        "brand", "Product", DataType.STRING,
+        synonyms=["manufacturer", "make", "brand name", "brand_name"],
+    )
+    onto.add_property(
+        "category", "Product", DataType.STRING,
+        synonyms=["dept", "department", "cat", "product category",
+                  "product_category", "type"],
+    )
+    onto.add_property(
+        "price", "Offer", DataType.CURRENCY,
+        synonyms=["cost", "offer price", "offer_price", "current price",
+                  "current_price", "amount"],
+    )
+    onto.add_property(
+        "url", "Offer", DataType.URL,
+        synonyms=["link", "product url", "product_url", "page url", "page_url"],
+    )
+    onto.add_property(
+        "updated", "Offer", DataType.DATE,
+        synonyms=["last seen", "last_seen", "ts", "timestamp", "date",
+                  "price checked on", "price_checked_on"],
+    )
+    return onto
+
+
+def location_ontology() -> Ontology:
+    """A local-business ontology covering the locations world."""
+    onto = Ontology("locations")
+    onto.add_concept("Place")
+    onto.add_concept(
+        "LocalBusiness", parent="Place", synonyms=["business", "venue", "place"]
+    )
+    for name, synonyms in (
+        ("Restaurant", ["diner", "eatery"]),
+        ("Cafe", ["coffee shop", "coffeehouse"]),
+        ("Cinema", ["movie theater", "picture house"]),
+        ("Gym", ["fitness center"]),
+        ("Bookshop", ["bookstore"]),
+        ("Bar", ["pub", "tavern"]),
+    ):
+        onto.add_concept(name, parent="LocalBusiness", synonyms=synonyms)
+
+    onto.add_property(
+        "business", "LocalBusiness", DataType.STRING,
+        synonyms=["name", "place", "venue name"],
+    )
+    onto.add_property(
+        "category", "LocalBusiness", DataType.STRING,
+        synonyms=["kind", "type", "business type"],
+    )
+    onto.add_property(
+        "street", "LocalBusiness", DataType.STRING,
+        synonyms=["address", "street address"],
+    )
+    onto.add_property(
+        "city", "LocalBusiness", DataType.STRING, synonyms=["town", "locality"]
+    )
+    onto.add_property(
+        "postcode", "LocalBusiness", DataType.STRING,
+        synonyms=["postal code", "zip", "zip code"],
+    )
+    onto.add_property(
+        "phone", "LocalBusiness", DataType.STRING,
+        synonyms=["telephone", "tel", "phone number"],
+    )
+    onto.add_property(
+        "geo", "LocalBusiness", DataType.GEO,
+        synonyms=["coords", "coordinates", "location", "latlon", "lat long"],
+    )
+    onto.add_property(
+        "url", "LocalBusiness", DataType.URL,
+        synonyms=["website", "homepage", "web"],
+    )
+    return onto

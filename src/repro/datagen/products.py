@@ -1,0 +1,280 @@
+"""The e-commerce price-intelligence world (paper Examples 1, 2, 4, 5).
+
+Generates a ground-truth product catalog and a fleet of retailer sources
+over it, with all four V's as explicit, seeded knobs:
+
+* **Volume** — number of sources and products;
+* **Velocity** — per-source staleness (probability a price is out of date);
+* **Variety** — per-source schema variants, value formats, and coverage;
+* **Veracity** — per-source error rates on prices and titles.
+
+Every generated row remembers which true product it describes (the
+``_truth`` column), which the evaluation harness uses and wrangling
+components never see — it is excluded from every target schema.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from dataclasses import dataclass, field
+
+from repro.datagen.corrupt import (
+    format_date,
+    format_price,
+    maybe,
+    misspell,
+    perturb_price,
+)
+from repro.model.records import Table
+from repro.model.schema import Attribute, DataType, Schema
+
+__all__ = ["SourceSpec", "ProductWorld", "generate_world", "TARGET_SCHEMA", "TRUTH_COLUMN"]
+
+#: The evaluation-only lineage column; never part of a target schema.
+TRUTH_COLUMN = "_truth"
+
+#: The integration target schema for price intelligence.
+TARGET_SCHEMA = Schema(
+    (
+        Attribute("product", DataType.STRING, required=True,
+                  description="product name"),
+        Attribute("brand", DataType.STRING, description="manufacturer"),
+        Attribute("category", DataType.STRING, description="product category"),
+        Attribute("price", DataType.CURRENCY, required=True,
+                  description="current offer price"),
+        Attribute("url", DataType.URL, description="offer page"),
+        Attribute("updated", DataType.DATE, description="last price check"),
+    )
+)
+
+_BRANDS = (
+    "Acme", "Globex", "Initech", "Umbrella", "Stark", "Wayne", "Tyrell",
+    "Cyberdyne", "Aperture", "Hooli",
+)
+_CATEGORIES = {
+    "television": (199.0, 1999.0),
+    "laptop": (349.0, 2499.0),
+    "headphones": (19.0, 549.0),
+    "camera": (99.0, 1899.0),
+    "smartphone": (149.0, 1299.0),
+    "tablet": (99.0, 999.0),
+    "monitor": (89.0, 899.0),
+    "printer": (49.0, 499.0),
+}
+_MODELS = ("Pro", "Max", "Air", "Ultra", "Lite", "Plus", "Mini", "Neo", "X")
+
+#: Schema variants: how different retailers name the same attributes.
+_SCHEMA_VARIANTS: tuple[dict[str, str], ...] = (
+    {  # canonical
+        "product": "product", "brand": "brand", "category": "category",
+        "price": "price", "url": "url", "updated": "updated",
+    },
+    {  # marketplace style
+        "product": "title", "brand": "manufacturer", "category": "dept",
+        "price": "offer_price", "url": "product_url", "updated": "last_seen",
+    },
+    {  # terse feed style
+        "product": "name", "brand": "make", "category": "cat",
+        "price": "cost", "url": "link", "updated": "ts",
+    },
+    {  # verbose style
+        "product": "product_name", "brand": "brand_name",
+        "category": "product_category", "price": "current_price",
+        "url": "page_url", "updated": "price_checked_on",
+    },
+)
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """The controlled characteristics of one synthetic retailer.
+
+    ``coverage`` — fraction of the catalog the retailer lists;
+    ``error_rate`` — probability a listed price/title is corrupted
+    (Veracity); ``staleness`` — probability the price is out of date
+    (Velocity); ``missing_rate`` — probability an optional field is absent;
+    ``cost`` — access cost in budget units; ``schema_variant`` — index into
+    the attribute-name variants (Variety).
+    """
+
+    name: str
+    coverage: float = 0.8
+    error_rate: float = 0.1
+    staleness: float = 0.1
+    missing_rate: float = 0.1
+    cost: float = 1.0
+    schema_variant: int = 0
+    price_bias: float = 0.0
+
+    def __post_init__(self) -> None:
+        for attr in ("coverage", "error_rate", "staleness", "missing_rate"):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{attr} must be in [0,1], got {value}")
+
+
+@dataclass
+class ProductWorld:
+    """A generated world: the truth, the sources, and their specs."""
+
+    ground_truth: Table
+    source_rows: dict[str, list[dict[str, object]]]
+    specs: dict[str, SourceSpec]
+    renames: dict[str, dict[str, str]] = field(default_factory=dict)
+    today: _dt.date = _dt.date(2016, 3, 15)
+
+    @property
+    def source_names(self) -> list[str]:
+        """Names of all generated sources."""
+        return sorted(self.source_rows)
+
+    def truth_by_id(self) -> dict[str, dict[str, object]]:
+        """Ground-truth rows keyed by product id."""
+        return {
+            record.raw("product_id"): record.to_dict()
+            for record in self.ground_truth
+        }
+
+    def true_price(self, product_id: str) -> float:
+        """The true current price of a product."""
+        return float(self.truth_by_id()[product_id]["price"])
+
+
+def _make_catalog(rng: random.Random, n_products: int, today: _dt.date) -> Table:
+    rows = []
+    for index in range(n_products):
+        category = rng.choice(sorted(_CATEGORIES))
+        low, high = _CATEGORIES[category]
+        brand = rng.choice(_BRANDS)
+        model = f"{rng.choice(_MODELS)} {rng.randint(100, 9999)}"
+        rows.append(
+            {
+                "product_id": f"P{index:05d}",
+                "product": f"{brand} {category.title()} {model}",
+                "brand": brand,
+                "category": category,
+                "price": round(rng.uniform(low, high), 2),
+                "url": f"https://catalog.example.com/p/{index}",
+                "updated": today.isoformat(),
+            }
+        )
+    return Table.from_rows("ground-truth", rows, source="ground-truth")
+
+
+def default_specs(n_sources: int, rng: random.Random) -> list[SourceSpec]:
+    """A heterogeneous fleet: a few excellent retailers, a long tail of
+    mediocre ones, and some actively bad aggregators."""
+    specs = []
+    for index in range(n_sources):
+        tier = rng.random()
+        if tier < 0.25:  # curated, expensive, good
+            spec = SourceSpec(
+                name=f"retailer-{index:02d}",
+                coverage=rng.uniform(0.5, 0.8),
+                error_rate=rng.uniform(0.0, 0.05),
+                staleness=rng.uniform(0.0, 0.05),
+                missing_rate=rng.uniform(0.0, 0.05),
+                cost=rng.uniform(3.0, 6.0),
+                schema_variant=rng.randrange(len(_SCHEMA_VARIANTS)),
+            )
+        elif tier < 0.75:  # mid-tier
+            spec = SourceSpec(
+                name=f"retailer-{index:02d}",
+                coverage=rng.uniform(0.3, 0.7),
+                error_rate=rng.uniform(0.05, 0.2),
+                staleness=rng.uniform(0.05, 0.25),
+                missing_rate=rng.uniform(0.05, 0.2),
+                cost=rng.uniform(1.0, 3.0),
+                schema_variant=rng.randrange(len(_SCHEMA_VARIANTS)),
+            )
+        else:  # cheap scraped aggregators
+            spec = SourceSpec(
+                name=f"retailer-{index:02d}",
+                coverage=rng.uniform(0.4, 0.9),
+                error_rate=rng.uniform(0.2, 0.45),
+                staleness=rng.uniform(0.2, 0.5),
+                missing_rate=rng.uniform(0.1, 0.3),
+                cost=rng.uniform(0.2, 1.0),
+                schema_variant=rng.randrange(len(_SCHEMA_VARIANTS)),
+                price_bias=rng.uniform(-0.05, 0.05),
+            )
+        specs.append(spec)
+    return specs
+
+
+def _render_row(
+    truth: dict[str, object],
+    spec: SourceSpec,
+    rng: random.Random,
+    today: _dt.date,
+) -> dict[str, object]:
+    renames = _SCHEMA_VARIANTS[spec.schema_variant]
+    price = float(truth["price"]) * (1.0 + spec.price_bias)
+    updated = today
+    if maybe(rng, spec.staleness):
+        # A stale observation: an old date and yesterday's price.
+        days_old = rng.randint(7, 120)
+        updated = today - _dt.timedelta(days=days_old)
+        price = perturb_price(price, rng, spread=0.25)
+    if maybe(rng, spec.error_rate):
+        price = perturb_price(price, rng)
+    title = str(truth["product"])
+    if maybe(rng, spec.error_rate):
+        title = misspell(title, rng)
+
+    row: dict[str, object] = {TRUTH_COLUMN: truth["product_id"]}
+    values = {
+        "product": title,
+        "brand": truth["brand"],
+        "category": truth["category"],
+        "price": format_price(round(price, 2), rng),
+        "url": f"https://{spec.name}.example.com/item/{truth['product_id']}",
+        "updated": format_date(updated, rng),
+    }
+    for canonical, local_name in renames.items():
+        value = values[canonical]
+        optional = canonical not in ("product", "price")
+        if optional and maybe(rng, spec.missing_rate):
+            row[local_name] = None
+        else:
+            row[local_name] = value
+    return row
+
+
+def generate_world(
+    n_products: int = 100,
+    n_sources: int = 10,
+    seed: int = 42,
+    specs: list[SourceSpec] | None = None,
+    today: _dt.date = _dt.date(2016, 3, 15),
+) -> ProductWorld:
+    """Generate a complete price-intelligence world.
+
+    Deterministic for a given seed; the same seed always produces the same
+    catalog, sources, and corruptions.
+    """
+    rng = random.Random(seed)
+    catalog = _make_catalog(rng, n_products, today)
+    if specs is None:
+        specs = default_specs(n_sources, rng)
+    truth_rows = [record.to_dict() for record in catalog]
+
+    source_rows: dict[str, list[dict[str, object]]] = {}
+    renames: dict[str, dict[str, str]] = {}
+    for spec in specs:
+        covered = [
+            row for row in truth_rows if maybe(rng, spec.coverage)
+        ]
+        source_rows[spec.name] = [
+            _render_row(row, spec, rng, today) for row in covered
+        ]
+        renames[spec.name] = dict(_SCHEMA_VARIANTS[spec.schema_variant])
+
+    return ProductWorld(
+        ground_truth=catalog,
+        source_rows=source_rows,
+        specs={spec.name: spec for spec in specs},
+        renames=renames,
+        today=today,
+    )

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` data wrangling framework.
+
+Every error raised by the library derives from :class:`WranglingError`, so
+callers can catch a single base class at pipeline boundaries while the
+library itself raises precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class WranglingError(Exception):
+    """Base class for all errors raised by the repro framework."""
+
+
+class SchemaError(WranglingError):
+    """A schema is malformed, or an attribute reference does not resolve."""
+
+
+class TypeInferenceError(WranglingError):
+    """A value could not be coerced to its declared data type."""
+
+
+class SourceError(WranglingError):
+    """A data source could not be read, parsed, or registered."""
+
+
+class ExtractionError(WranglingError):
+    """Wrapper induction or application failed on a document."""
+
+
+class MatchingError(WranglingError):
+    """Schema matching was asked to relate incompatible inputs."""
+
+
+class MappingError(WranglingError):
+    """A mapping is inapplicable to the table it was asked to transform."""
+
+
+class ResolutionError(WranglingError):
+    """Entity resolution received inconsistent configuration or input."""
+
+
+class FusionError(WranglingError):
+    """Data fusion could not reconcile conflicting values."""
+
+
+class FeedbackError(WranglingError):
+    """A feedback item is malformed or targets an unknown artifact."""
+
+
+class ContextError(WranglingError):
+    """The user or data context is inconsistent (e.g. bad AHP matrix)."""
+
+
+class PlanningError(WranglingError):
+    """The autonomic planner could not compose a pipeline."""
+
+
+class DataflowError(WranglingError):
+    """The incremental dataflow graph is malformed (cycles, missing nodes)."""
+
+
+class QueryError(WranglingError):
+    """A conjunctive query is malformed or references unknown relations."""
+
+
+class RepairError(WranglingError):
+    """Constraint repair could not produce a consistent instance."""

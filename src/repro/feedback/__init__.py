@@ -1,0 +1,51 @@
+"""Pay-as-you-go feedback: typed judgments, simulated workers, reliability
+estimation, and cross-component propagation."""
+
+from repro.feedback.active import (
+    Question,
+    plan_spend,
+    suggest_pair_questions,
+    suggest_questions,
+    suggest_source_questions,
+    suggest_value_questions,
+)
+from repro.feedback.propagation import FeedbackPropagator, PropagationReport
+from repro.feedback.reliability import (
+    Judgment,
+    ReliabilityEstimate,
+    estimate_reliability,
+)
+from repro.feedback.store import FeedbackStore
+from repro.feedback.types import (
+    DuplicateFeedback,
+    ExtractionFeedback,
+    Feedback,
+    MatchFeedback,
+    RelevanceFeedback,
+    ValueFeedback,
+)
+from repro.feedback.workers import SimulatedWorker, crowd_panel, expert
+
+__all__ = [
+    "DuplicateFeedback",
+    "ExtractionFeedback",
+    "Feedback",
+    "FeedbackPropagator",
+    "FeedbackStore",
+    "Judgment",
+    "MatchFeedback",
+    "PropagationReport",
+    "Question",
+    "RelevanceFeedback",
+    "ReliabilityEstimate",
+    "SimulatedWorker",
+    "ValueFeedback",
+    "crowd_panel",
+    "estimate_reliability",
+    "expert",
+    "plan_spend",
+    "suggest_pair_questions",
+    "suggest_questions",
+    "suggest_source_questions",
+    "suggest_value_questions",
+]

@@ -1,0 +1,180 @@
+"""Active feedback acquisition: where is the next unit of payment worth most?
+
+Section 2.4 wants users to "contribute effort ... in whatever form they
+choose and at whatever moment they choose" — but a cost-effective system
+should also *suggest* where a judgment would help most.  Three value-of-
+information signals, all computable from the working data:
+
+* **uncertain cells** — fused values whose vote was close (low fusion
+  confidence): one verdict flips or confirms them;
+* **uncertain sources** — reliability posteriors with wide credible
+  intervals: a few verdicts on that source's values sharpen every future
+  fusion and selection decision;
+* **borderline pairs** — ER candidate pairs whose similarity landed near
+  the decision threshold: labelled pairs there move the learned rule.
+
+The suggestions are ranked by expected value per unit cost, so a crowd
+budget can simply be spent top-down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.model.records import Table
+from repro.resolution.comparison import RecordComparator
+from repro.resolution.er import ResolutionResult
+from repro.sources.registry import SourceRegistry
+
+__all__ = ["Question", "suggest_value_questions", "suggest_source_questions",
+           "suggest_pair_questions", "suggest_questions"]
+
+
+@dataclass(frozen=True)
+class Question:
+    """One suggested feedback task, ranked by expected value."""
+
+    kind: str  # "value" | "source" | "duplicate"
+    target: tuple[str, ...]
+    expected_value: float
+    reason: str
+
+
+def suggest_value_questions(
+    wrangled: Table, limit: int = 10
+) -> list[Question]:
+    """Cells whose fused confidence is weakest, most uncertain first."""
+    scored = []
+    for record in wrangled:
+        for name in wrangled.schema.names:
+            if name.startswith("_"):
+                continue
+            value = record.get(name)
+            if value.is_missing:
+                continue
+            # value of a verdict peaks at confidence 0.5 and vanishes at 1.0
+            uncertainty = 1.0 - abs(2.0 * value.confidence - 1.0)
+            if uncertainty <= 0.0:
+                continue
+            scored.append(
+                Question(
+                    "value",
+                    (record.rid, name),
+                    uncertainty,
+                    f"fused at confidence {value.confidence:.2f}",
+                )
+            )
+    scored.sort(key=lambda q: -q.expected_value)
+    return scored[:limit]
+
+
+def suggest_source_questions(
+    registry: SourceRegistry, limit: int = 5
+) -> list[Question]:
+    """Sources whose reliability is least pinned down."""
+    scored = []
+    for name in registry.names():
+        posterior = registry.reliability(name)
+        low, high = posterior.credible_interval()
+        width = high - low
+        scored.append(
+            Question(
+                "source",
+                (name,),
+                width,
+                f"reliability {posterior.mean:.2f} "
+                f"± [{low:.2f}, {high:.2f}] from "
+                f"{posterior.strength:.0f} observations",
+            )
+        )
+    scored.sort(key=lambda q: -q.expected_value)
+    return scored[:limit]
+
+
+def suggest_pair_questions(
+    translated: Table,
+    resolution: ResolutionResult,
+    comparator: RecordComparator,
+    threshold: float,
+    band: float = 0.12,
+    limit: int = 10,
+) -> list[Question]:
+    """Candidate pairs whose similarity landed near the match threshold."""
+    scored = []
+    records = list(translated.records)
+    matched = set(resolution.matched_pairs)
+    for i, left in enumerate(records):
+        for right in records[i + 1:]:
+            similarity = comparator.similarity(left, right)
+            distance = abs(similarity - threshold)
+            if distance > band:
+                continue
+            pair = tuple(sorted((left.rid, right.rid)))
+            decided = "matched" if pair in matched else "split"
+            scored.append(
+                Question(
+                    "duplicate",
+                    pair,
+                    1.0 - distance / band,
+                    f"similarity {similarity:.2f} vs threshold "
+                    f"{threshold:.2f} ({decided})",
+                )
+            )
+    scored.sort(key=lambda q: -q.expected_value)
+    return scored[:limit]
+
+
+def plan_spend(
+    questions: Sequence[Question],
+    budget: float,
+    costs: dict[str, float] | None = None,
+) -> list[Question]:
+    """Choose which questions a feedback budget buys.
+
+    "Payment can take different forms" (Section 2.4) and different forms
+    have different prices — an expert value check costs more than a crowd
+    pair judgment.  Questions are bought greedily by expected value per
+    unit cost until the budget runs out.
+    """
+    if budget < 0:
+        raise ValueError("feedback budget must be non-negative")
+    costs = costs or {"value": 1.0, "source": 2.0, "duplicate": 0.5}
+    ranked = sorted(
+        questions,
+        key=lambda q: -(q.expected_value / max(costs.get(q.kind, 1.0), 1e-9)),
+    )
+    chosen: list[Question] = []
+    remaining = budget
+    for question in ranked:
+        price = costs.get(question.kind, 1.0)
+        if price > remaining:
+            continue
+        chosen.append(question)
+        remaining -= price
+    return chosen
+
+
+def suggest_questions(
+    wrangled: Table,
+    registry: SourceRegistry,
+    translated: Table | None = None,
+    resolution: ResolutionResult | None = None,
+    comparator: RecordComparator | None = None,
+    threshold: float = 0.8,
+    limit: int = 15,
+) -> list[Question]:
+    """The combined, ranked question list across all three signals."""
+    questions = suggest_value_questions(wrangled, limit=limit)
+    questions += suggest_source_questions(registry, limit=max(3, limit // 3))
+    if (
+        translated is not None
+        and resolution is not None
+        and comparator is not None
+    ):
+        questions += suggest_pair_questions(
+            translated, resolution, comparator, threshold,
+            limit=max(3, limit // 3),
+        )
+    questions.sort(key=lambda q: -q.expected_value)
+    return questions[:limit]

@@ -1,0 +1,252 @@
+"""Feedback propagation: one judgment, many informed components.
+
+This is the paper's sharpest architectural demand (Sections 2.4, 3.2):
+"the identification of several correct (or incorrect) results may inform
+both source selection and mapping generation", whereas prior systems used
+"a single type of feedback ... to support a single data management task".
+
+The propagator turns the feedback store into updates for every component:
+
+* value verdicts → per-source reliability observations (via the fused
+  cell's provenance) and source accuracy annotations → which steer
+  **source selection**, **mapping selection**, and **fusion weights**;
+* duplicate verdicts → labelled training pairs → retrained **ER rules**;
+* match verdicts → the evidence channel of the **schema matcher**;
+* relevance verdicts → relevance annotations → **source selection**;
+* extraction verdicts → wrapper reliability → **extraction repair**.
+
+Worker reliability is estimated from overlapping judgments (Dawid–Skene
+EM) so crowd noise is discounted before it moves anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.feedback.reliability import Judgment, estimate_reliability
+from repro.feedback.store import FeedbackStore
+from repro.feedback.types import (
+    DuplicateFeedback,
+    ExtractionFeedback,
+    MatchFeedback,
+    RelevanceFeedback,
+    ValueFeedback,
+)
+from repro.model.annotations import AnnotationStore, Dimension, QualityAnnotation
+from repro.model.records import Record, Table
+from repro.model.uncertainty import log_odds_pool
+from repro.resolution.comparison import RecordComparator
+from repro.sources.registry import SourceRegistry
+
+__all__ = ["PropagationReport", "FeedbackPropagator"]
+
+
+@dataclass
+class PropagationReport:
+    """What one propagation pass changed, for logs and experiments."""
+
+    source_observations: dict[str, list[bool]] = field(default_factory=dict)
+    match_evidence: dict[tuple[str, str], list[bool]] = field(default_factory=dict)
+    er_pairs: int = 0
+    relevance_annotations: int = 0
+    wrapper_observations: dict[str, list[bool]] = field(default_factory=dict)
+    worker_accuracy: dict[str, float] = field(default_factory=dict)
+
+
+class FeedbackPropagator:
+    """Routes everything in the feedback store to every consumer."""
+
+    def __init__(
+        self,
+        store: FeedbackStore,
+        registry: SourceRegistry,
+        annotations: AnnotationStore,
+    ) -> None:
+        self.store = store
+        self.registry = registry
+        self.annotations = annotations
+
+    # -- worker reliability -------------------------------------------------
+
+    def worker_accuracies(self) -> dict[str, float]:
+        """Estimated reliability per worker, from overlapping judgments.
+
+        Every binary feedback item is a judgment on a question keyed by its
+        type and target; workers who contradict the consensus lose weight.
+        Workers with no overlap keep a neutral 0.8.
+        """
+        judgments = []
+        for item in self.store:
+            if isinstance(item, ValueFeedback):
+                key = f"value:{item.entity}:{item.attribute}"
+                answer = item.is_correct
+            elif isinstance(item, DuplicateFeedback):
+                key = f"dup:{item.pair[0]}:{item.pair[1]}"
+                answer = item.is_duplicate
+            elif isinstance(item, MatchFeedback):
+                key = f"match:{item.source_attribute}:{item.target_attribute}"
+                answer = item.is_correct
+            elif isinstance(item, RelevanceFeedback):
+                key = f"rel:{item.source_name or item.entity}"
+                answer = item.is_relevant
+            elif isinstance(item, ExtractionFeedback):
+                key = f"ext:{item.wrapper_id}:{item.attribute}"
+                answer = item.is_correct
+            else:
+                continue
+            judgments.append(Judgment(item.worker, key, answer))
+        if not judgments:
+            return {}
+        estimate = estimate_reliability(judgments)
+        return estimate.worker_accuracy
+
+    def _consolidate(
+        self,
+        verdicts: list[bool],
+        workers: list[str],
+        accuracy: dict[str, float],
+    ) -> float:
+        """Probability the asserted fact holds, given weighted verdicts."""
+        probabilities = []
+        weights = []
+        for verdict, worker in zip(verdicts, workers):
+            reliability = accuracy.get(worker, 0.8)
+            probabilities.append(reliability if verdict else 1.0 - reliability)
+            weights.append(1.0)
+        return log_odds_pool(probabilities, weights, prior=0.5)
+
+    # -- propagation passes ------------------------------------------------
+
+    def propagate(
+        self,
+        wrangled: Table | None = None,
+        comparator: RecordComparator | None = None,
+        records_by_rid: dict[str, Record] | None = None,
+    ) -> PropagationReport:
+        """Run every propagation pass and return what changed."""
+        report = PropagationReport()
+        report.worker_accuracy = self.worker_accuracies()
+
+        if wrangled is not None:
+            self._propagate_values(wrangled, report)
+        self._propagate_matches(report)
+        self._propagate_relevance(report)
+        self._propagate_wrappers(report)
+        if comparator is not None and records_by_rid:
+            self._collect_er_pairs(comparator, records_by_rid, report)
+        return report
+
+    def _propagate_values(self, wrangled: Table, report: PropagationReport) -> None:
+        accuracy = report.worker_accuracy
+        fused_by_rid = {record.rid: record for record in wrangled}
+        for (entity, attribute), items in self.store.value_verdicts().items():
+            record = fused_by_rid.get(entity)
+            if record is None:
+                continue
+            value = record.get(attribute)
+            if value.is_missing:
+                continue
+            probability = self._consolidate(
+                [item.is_correct for item in items],
+                [item.worker for item in items],
+                accuracy,
+            )
+            if abs(probability - 0.5) < 0.05:
+                continue  # verdicts cancel out; nothing to learn
+            verdict = probability > 0.5
+            weight = abs(probability - 0.5) * 2.0
+            for source in value.provenance.sources():
+                if source in self.registry:
+                    self.registry.observe(source, verdict, weight=weight)
+                    report.source_observations.setdefault(source, []).append(verdict)
+                    self.annotations.add(
+                        QualityAnnotation(
+                            f"source:{source}",
+                            Dimension.ACCURACY,
+                            1.0 if verdict else 0.0,
+                            confidence=weight,
+                            origin="feedback",
+                        )
+                    )
+
+    def _propagate_matches(self, report: PropagationReport) -> None:
+        accuracy = report.worker_accuracy
+        for key, items in (
+            self._group_match_items().items()
+        ):
+            probability = self._consolidate(
+                [item.is_correct for item in items],
+                [item.worker for item in items],
+                accuracy,
+            )
+            # Replay as weighted booleans: the matcher's feedback channel
+            # consumes plain verdict lists.
+            count = max(1, round(len(items) * abs(probability - 0.5) * 2))
+            report.match_evidence[key] = [probability > 0.5] * count
+
+    def _group_match_items(self) -> dict[tuple[str, str], list[MatchFeedback]]:
+        grouped: dict[tuple[str, str], list[MatchFeedback]] = {}
+        for item in self.store.of_type(MatchFeedback):
+            key = (item.source_attribute, item.target_attribute)
+            grouped.setdefault(key, []).append(item)
+        return grouped
+
+    def _propagate_relevance(self, report: PropagationReport) -> None:
+        accuracy = report.worker_accuracy
+        for source, items in self.store.relevance_verdicts().items():
+            probability = self._consolidate(
+                [item.is_relevant for item in items],
+                [item.worker for item in items],
+                accuracy,
+            )
+            # One annotation per judgment: repeated feedback must be able to
+            # outweigh the optimistic defaults other analyses wrote.
+            for __ in items:
+                self.annotations.add(
+                    QualityAnnotation(
+                        f"source:{source}",
+                        Dimension.RELEVANCE,
+                        probability,
+                        confidence=1.0,
+                        origin="feedback",
+                    )
+                )
+            report.relevance_annotations += 1
+
+    def _propagate_wrappers(self, report: PropagationReport) -> None:
+        for item in self.store.of_type(ExtractionFeedback):
+            report.wrapper_observations.setdefault(item.wrapper_id, []).append(
+                item.is_correct
+            )
+
+    def _collect_er_pairs(
+        self,
+        comparator: RecordComparator,
+        records_by_rid: dict[str, Record],
+        report: PropagationReport,
+    ) -> None:
+        self._er_vectors: list[list[float | None]] = []
+        self._er_labels: list[bool] = []
+        accuracy = report.worker_accuracy
+        for pair, items in self.store.duplicate_verdicts().items():
+            left = records_by_rid.get(pair[0])
+            right = records_by_rid.get(pair[1])
+            if left is None or right is None:
+                continue
+            probability = self._consolidate(
+                [item.is_duplicate for item in items],
+                [item.worker for item in items],
+                accuracy,
+            )
+            if abs(probability - 0.5) < 0.05:
+                continue
+            self._er_vectors.append(comparator.vector(left, right))
+            self._er_labels.append(probability > 0.5)
+        report.er_pairs = len(self._er_labels)
+
+    def er_training_data(self) -> tuple[list[list[float | None]], list[bool]]:
+        """The labelled pairs collected by the last propagation pass."""
+        return (
+            getattr(self, "_er_vectors", []),
+            getattr(self, "_er_labels", []),
+        )

@@ -1,0 +1,65 @@
+"""Simulated feedback workers: domain experts and paid crowds.
+
+Example 5: "the provision of domain-expert feedback from the data
+scientists is a form of payment ... it should also be possible to use
+crowdsourcing, with direct financial payment of crowd workers".  A
+:class:`SimulatedWorker` answers binary questions with a configured
+reliability at a configured price, so benchmarks can plot quality against
+money for any mix of experts and crowds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import FeedbackError
+
+__all__ = ["SimulatedWorker", "expert", "crowd_panel"]
+
+
+@dataclass
+class SimulatedWorker:
+    """A worker who answers binary questions with fixed reliability."""
+
+    name: str
+    reliability: float
+    cost_per_judgment: float
+    rng: random.Random
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reliability <= 1.0:
+            raise FeedbackError("worker reliability must be in [0,1]")
+        if self.cost_per_judgment < 0:
+            raise FeedbackError("worker cost must be non-negative")
+
+    def judge(self, truth: bool) -> bool:
+        """The worker's answer given the true answer."""
+        if self.rng.random() < self.reliability:
+            return truth
+        return not truth
+
+
+def expert(seed: int = 0, reliability: float = 0.98, cost: float = 5.0) -> SimulatedWorker:
+    """A domain expert: near-perfect, expensive."""
+    return SimulatedWorker("expert", reliability, cost, random.Random(seed))
+
+
+def crowd_panel(
+    n_workers: int,
+    seed: int = 0,
+    reliability_range: tuple[float, float] = (0.6, 0.9),
+    cost: float = 0.2,
+) -> list[SimulatedWorker]:
+    """A panel of crowd workers with heterogeneous reliabilities."""
+    rng = random.Random(seed)
+    low, high = reliability_range
+    return [
+        SimulatedWorker(
+            f"crowd-{index}",
+            rng.uniform(low, high),
+            cost,
+            random.Random(seed * 1000 + index),
+        )
+        for index in range(n_workers)
+    ]

@@ -1,0 +1,34 @@
+"""Data fusion and truth discovery: conflict resolution, TruthFinder,
+source-accuracy EM, and entity fusion."""
+
+from repro.fusion.copying import CopyReport, copy_aware_em, detect_copying
+from repro.fusion.fuse import EntityFuser
+from repro.fusion.strategies import (
+    STRATEGIES,
+    Candidate,
+    FusedChoice,
+    resolve,
+)
+from repro.fusion.truth import (
+    AccuEM,
+    Claim,
+    TruthFinder,
+    TruthResult,
+    majority_baseline,
+)
+
+__all__ = [
+    "AccuEM",
+    "Candidate",
+    "Claim",
+    "CopyReport",
+    "EntityFuser",
+    "copy_aware_em",
+    "detect_copying",
+    "FusedChoice",
+    "STRATEGIES",
+    "TruthFinder",
+    "TruthResult",
+    "majority_baseline",
+    "resolve",
+]

@@ -1,0 +1,204 @@
+"""Copy detection between sources (after Dong, Berti-Équille & Srivastava).
+
+Experiment E9 demonstrates the failure mode the paper's Section 4.2
+gestures at: once several sources *copy* the same stale feed, their
+agreement looks like independent confirmation and both voting and naive
+accuracy-EM lock onto the copied error.  The classical fix is to detect
+dependence first: sources that share **false** values far more often than
+independent errors could explain are copier suspects, and their votes are
+discounted.
+
+The detector here is the standard intuition made executable: for each
+source pair, agreement on *minority* values (values not shared by most
+sources) is evidence of copying, because independent sources err
+independently.  Each source receives an independence weight in ``(0, 1]``
+that :class:`~repro.fusion.truth.AccuEM` and voting can apply.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.fusion.truth import Claim, TruthResult
+
+__all__ = ["CopyReport", "detect_copying", "copy_aware_em"]
+
+
+@dataclass
+class CopyReport:
+    """Pairwise dependence scores and per-source independence weights."""
+
+    dependence: dict[tuple[str, str], float]
+    independence_weight: dict[str, float]
+
+    def suspects(self, threshold: float = 0.5) -> list[tuple[str, str]]:
+        """Source pairs whose dependence exceeds ``threshold``."""
+        return sorted(
+            pair
+            for pair, score in self.dependence.items()
+            if score > threshold
+        )
+
+
+def detect_copying(
+    claims: Sequence[Claim],
+    trusted: Mapping[str, object] | None = None,
+    default_accuracy: float = 0.7,
+) -> CopyReport:
+    """Estimate which sources copy one another.
+
+    Two coherent blocs of sources are *unidentifiable* from claims alone —
+    a lying majority looks exactly like an honest one (this is why
+    experiment E9's plain EM collapses).  The wrangler therefore anchors
+    on whatever trusted items exist: ``trusted`` maps a few data items to
+    verified values (from master data or consolidated user feedback —
+    Section 2.3's "use all the available information").
+
+    A pair's dependence is its mutual agreement rate scaled by both
+    sources' *untrustworthiness* on the anchored items: high agreement
+    between two demonstrably inaccurate sources can only be copying,
+    while agreement between accurate sources is just both being right.
+    Each source's independence weight is ``1 / (1 + Σ dependence)``, so a
+    bloc of k mutual copiers votes with roughly the strength of one.
+
+    Without ``trusted``, all accuracies fall back to ``default_accuracy``
+    and the detector degrades to a mild agreement-based discount —
+    honest, but unable to break a coherent majority.
+    """
+    by_item: dict[str, dict[str, object]] = defaultdict(dict)
+    for claim in claims:
+        by_item[claim.data_item][claim.source] = claim.value
+
+    sources = sorted({claim.source for claim in claims})
+
+    anchored_accuracy: dict[str, float] = {}
+    for source in sources:
+        if not trusted:
+            anchored_accuracy[source] = default_accuracy
+            continue
+        checked = 0
+        correct = 0
+        for item, value in trusted.items():
+            claimed = by_item.get(item, {}).get(source)
+            if claimed is None:
+                continue
+            checked += 1
+            if claimed == value:
+                correct += 1
+        anchored_accuracy[source] = (
+            (correct + 1) / (checked + 2) if checked else default_accuracy
+        )
+
+    dependence: dict[tuple[str, str], float] = {}
+    for left, right in itertools.combinations(sources, 2):
+        co_covered = 0
+        agreed = 0
+        for votes in by_item.values():
+            if left not in votes or right not in votes:
+                continue
+            co_covered += 1
+            if votes[left] == votes[right]:
+                agreed += 1
+        if co_covered == 0:
+            dependence[(left, right)] = 0.0
+            continue
+        agreement = agreed / co_covered
+        untrustworthiness = (1.0 - anchored_accuracy[left]) * (
+            1.0 - anchored_accuracy[right]
+        )
+        # Independent sources agree through shared *truth*; agreement in
+        # excess of what their accuracies predict is dependence.
+        expected = anchored_accuracy[left] * anchored_accuracy[right]
+        excess = max(0.0, agreement - expected)
+        dependence[(left, right)] = min(1.0, 4.0 * excess * untrustworthiness ** 0.5)
+
+    independence_weight: dict[str, float] = {}
+    for source in sources:
+        total_dependence = sum(
+            score for pair, score in dependence.items() if source in pair
+        )
+        independence_weight[source] = 1.0 / (1.0 + total_dependence)
+    return CopyReport(dependence, independence_weight)
+
+
+def copy_aware_em(
+    claims: Sequence[Claim],
+    max_iterations: int = 30,
+    weights: Mapping[str, float] | None = None,
+) -> TruthResult:
+    """AccuEM with copier votes discounted by their independence weight.
+
+    The weight scales a source's log-likelihood contribution in the
+    E-step: a bloc of k mutual copiers contributes like ~1 source instead
+    of k, so the coherent-stale-feed trap of experiment E9 is defused.
+    """
+    from repro.errors import FusionError
+
+    if not claims:
+        raise FusionError("no claims to resolve")
+    if weights is None:
+        weights = detect_copying(claims).independence_weight
+
+    by_item: dict[str, dict[object, set[str]]] = defaultdict(
+        lambda: defaultdict(set)
+    )
+    by_source: dict[str, list[Claim]] = defaultdict(list)
+    for claim in claims:
+        by_item[claim.data_item][claim.value].add(claim.source)
+        by_source[claim.source].append(claim)
+
+    accuracy = {source: 0.8 for source in by_source}
+    item_probs: dict[str, dict[object, float]] = {}
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        for item, value_sources in by_item.items():
+            n_values = len(value_sources)
+            scores: dict[object, float] = {}
+            for value in value_sources:
+                log_score = 0.0
+                for other_value, sources in value_sources.items():
+                    for source in sources:
+                        weight = weights.get(source, 1.0)
+                        acc = min(max(accuracy[source], 1e-6), 1 - 1e-6)
+                        if other_value == value:
+                            log_score += weight * math.log(acc)
+                        else:
+                            spread = (1.0 - acc) / max(1, n_values - 1)
+                            log_score += weight * math.log(max(spread, 1e-9))
+                scores[value] = log_score
+            peak = max(scores.values())
+            exp_scores = {
+                value: math.exp(score - peak)
+                for value, score in scores.items()
+            }
+            total = sum(exp_scores.values())
+            item_probs[item] = {
+                value: score / total for value, score in exp_scores.items()
+            }
+        new_accuracy = {}
+        for source, source_claims in by_source.items():
+            probs = [
+                item_probs[claim.data_item][claim.value]
+                for claim in source_claims
+            ]
+            smoothed = (sum(probs) + 1.0) / (len(probs) + 2.0)
+            new_accuracy[source] = min(smoothed, 0.95)
+        delta = max(
+            abs(new_accuracy[source] - accuracy[source])
+            for source in accuracy
+        )
+        accuracy = new_accuracy
+        if delta < 1e-5:
+            break
+
+    values: dict[str, object] = {}
+    confidences: dict[str, float] = {}
+    for item, probs in item_probs.items():
+        best = max(probs, key=lambda v: probs[v])
+        values[item] = best
+        confidences[item] = probs[best]
+    return TruthResult(values, confidences, accuracy, iterations)

@@ -1,0 +1,6 @@
+"""Knowledge-base construction over wrangled data (paper Section 3.1)."""
+
+from repro.kb.construction import KBConstructor
+from repro.kb.kb import Fact, KnowledgeBase
+
+__all__ = ["Fact", "KBConstructor", "KnowledgeBase"]

@@ -1,0 +1,66 @@
+"""Knowledge-base construction from wrangled tables.
+
+The KBC pipeline of Section 3.1, built on the wrangler's outputs: each
+fused record becomes an entity, each populated cell a candidate fact whose
+prior confidence combines the cell's own confidence (extraction + mapping +
+fusion lineage) with data-context validation — the Knowledge-Vault move of
+fusing extractor confidence with prior plausibility.
+"""
+
+from __future__ import annotations
+
+from repro.context.data_context import DataContext
+from repro.kb.kb import Fact, KnowledgeBase
+from repro.model.records import Table
+from repro.model.uncertainty import log_odds_pool
+
+__all__ = ["KBConstructor"]
+
+
+class KBConstructor:
+    """Builds / extends a :class:`KnowledgeBase` from wrangled tables."""
+
+    def __init__(
+        self,
+        context: DataContext | None = None,
+        entity_attribute: str | None = None,
+        min_confidence: float = 0.0,
+    ) -> None:
+        self.context = context
+        self.entity_attribute = entity_attribute
+        self.min_confidence = min_confidence
+
+    def _entity_id(self, record, table_name: str) -> str:  # type: ignore[no-untyped-def]
+        if self.entity_attribute is not None:
+            raw = record.raw(self.entity_attribute)
+            if raw is not None:
+                return str(raw)
+        return f"{table_name}/{record.rid}"
+
+    def fact_confidence(self, attribute: str, value) -> float:  # type: ignore[no-untyped-def]
+        """Pool the cell's lineage confidence with context plausibility."""
+        cell_confidence = value.confidence
+        if self.context is None:
+            return cell_confidence
+        plausibility = self.context.validate_value(attribute, value.raw)
+        return log_odds_pool([cell_confidence, plausibility], prior=0.5)
+
+    def ingest(self, table: Table, kb: KnowledgeBase | None = None) -> KnowledgeBase:
+        """Turn every populated cell of ``table`` into a KB fact."""
+        if kb is None:
+            kb = KnowledgeBase(f"kb-{table.name}")
+        for record in table:
+            entity = self._entity_id(record, table.name)
+            for attribute in table.schema.names:
+                if attribute.startswith("_"):
+                    continue
+                value = record.get(attribute)
+                if value.is_missing:
+                    continue
+                confidence = self.fact_confidence(attribute, value)
+                if confidence < self.min_confidence:
+                    continue
+                kb.assert_fact(
+                    Fact(entity, attribute, value.raw, confidence, value.provenance)
+                )
+        return kb

@@ -1,0 +1,116 @@
+"""An entity-centric knowledge base with probabilistic facts.
+
+Section 3.1 relates wrangling to knowledge-base construction (YAGO,
+Elementary, Knowledge Vault): "combine candidate facts from web data
+sources to create or extend descriptions of entities ... taking account of
+the associated uncertainties".  This KB stores ``(entity, property,
+value)`` facts with confidences and provenance, fusing repeated assertions
+by noisy-or — the Knowledge-Vault recipe in miniature.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.model.provenance import Provenance
+from repro.model.uncertainty import noisy_or
+
+__all__ = ["Fact", "KnowledgeBase"]
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One probabilistic assertion about an entity."""
+
+    entity: str
+    property: str
+    value: object
+    confidence: float
+    provenance: Provenance = field(default_factory=Provenance.generated)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError("fact confidence must be in [0,1]")
+
+
+class KnowledgeBase:
+    """Facts indexed by entity and property, with noisy-or assimilation."""
+
+    def __init__(self, name: str = "kb") -> None:
+        self.name = name
+        self._facts: dict[tuple[str, str, object], Fact] = {}
+        self._by_entity: dict[str, set[tuple[str, str, object]]] = defaultdict(set)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts.values())
+
+    def assert_fact(self, fact: Fact) -> Fact:
+        """Add a fact; a repeated assertion *raises* the stored confidence
+        (independent supporting evidence combines by noisy-or)."""
+        key = (fact.entity, fact.property, fact.value)
+        existing = self._facts.get(key)
+        if existing is None:
+            stored = fact
+        else:
+            stored = Fact(
+                fact.entity,
+                fact.property,
+                fact.value,
+                noisy_or([existing.confidence, fact.confidence]),
+                fact.provenance,
+            )
+        self._facts[key] = stored
+        self._by_entity[fact.entity].add(key)
+        return stored
+
+    def entities(self) -> list[str]:
+        """All entity ids, sorted."""
+        return sorted(self._by_entity)
+
+    def facts_about(self, entity: str) -> list[Fact]:
+        """All facts about one entity."""
+        return sorted(
+            (self._facts[key] for key in self._by_entity.get(entity, ())),
+            key=lambda f: (f.property, str(f.value)),
+        )
+
+    def candidates(self, entity: str, property_name: str) -> list[Fact]:
+        """All competing values for one property, most confident first."""
+        return sorted(
+            (
+                fact
+                for fact in self.facts_about(entity)
+                if fact.property == property_name
+            ),
+            key=lambda f: -f.confidence,
+        )
+
+    def best(self, entity: str, property_name: str) -> Fact | None:
+        """The most confident value for a property, if any."""
+        ranked = self.candidates(entity, property_name)
+        return ranked[0] if ranked else None
+
+    def at_confidence(self, threshold: float) -> list[Fact]:
+        """All facts at or above a confidence threshold — the "published"
+        slice of the KB (Knowledge Vault publishes only high-confidence
+        triples)."""
+        return sorted(
+            (f for f in self._facts.values() if f.confidence >= threshold),
+            key=lambda f: (f.entity, f.property, str(f.value)),
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Entity/fact counts and mean confidence."""
+        confidences = [f.confidence for f in self._facts.values()]
+        return {
+            "entities": float(len(self._by_entity)),
+            "facts": float(len(self._facts)),
+            "mean_confidence": (
+                sum(confidences) / len(confidences) if confidences else 1.0
+            ),
+        }

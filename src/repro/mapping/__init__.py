@@ -1,0 +1,7 @@
+"""Schema mappings: generation from correspondences, execution, and
+context-aware selection."""
+
+from repro.mapping.mapping import AttributeMap, Mapping
+from repro.mapping.selection import MappingSelector, ScoredMapping
+
+__all__ = ["AttributeMap", "Mapping", "MappingSelector", "ScoredMapping"]

@@ -1,0 +1,271 @@
+"""String and value similarity measures used across matching and resolution.
+
+All measures return scores in ``[0, 1]``, are symmetric, and score 1.0 on
+identical non-empty inputs — properties the test suite enforces — so they
+can be pooled as evidence (Section 2.3) without per-measure calibration.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from typing import Iterable, Sequence
+
+__all__ = [
+    "levenshtein",
+    "levenshtein_similarity",
+    "jaro",
+    "jaro_winkler",
+    "jaccard",
+    "dice",
+    "token_set",
+    "tfidf_cosine",
+    "monge_elkan",
+    "numeric_similarity",
+    "name_similarity",
+]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Tokens that carry no identity signal in entity names.
+_STOPWORDS = frozenset(
+    {"the", "a", "an", "of", "and", "at", "in", "on", "for", "ltd", "inc", "co"}
+)
+
+
+def token_set(text: str) -> frozenset[str]:
+    """Lower-cased alphanumeric tokens of ``text``."""
+    return frozenset(_TOKEN_RE.findall(text.lower()))
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic edit distance (insert / delete / substitute, unit costs)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,        # deletion
+                    current[j - 1] + 1,     # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Edit distance normalised to a ``[0, 1]`` similarity."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity — robust to transpositions in short strings."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    matched_a = [False] * len(a)
+    matched_b = [False] * len(b)
+    matches = 0
+    for i, char in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len(b), i + window + 1)
+        for j in range(lo, hi):
+            if matched_b[j] or b[j] != char:
+                continue
+            matched_a[i] = matched_b[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, was_matched in enumerate(matched_a):
+        if not was_matched:
+            continue
+        while not matched_b[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        matches / len(a) + matches / len(b) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro–Winkler: Jaro boosted by a shared prefix (up to 4 chars)."""
+    base = jaro(a, b)
+    prefix = 0
+    for char_a, char_b in zip(a[:4], b[:4]):
+        if char_a != char_b:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def jaccard(a: Iterable[str], b: Iterable[str]) -> float:
+    """Jaccard overlap of two token collections."""
+    set_a, set_b = frozenset(a), frozenset(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)
+
+
+def dice(a: Iterable[str], b: Iterable[str]) -> float:
+    """Sørensen–Dice coefficient of two token collections."""
+    set_a, set_b = frozenset(a), frozenset(b)
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    return 2.0 * len(set_a & set_b) / (len(set_a) + len(set_b))
+
+
+def tfidf_cosine(
+    doc_a: Sequence[str], doc_b: Sequence[str], corpus: Sequence[Sequence[str]]
+) -> float:
+    """Cosine similarity of two token sequences under corpus IDF weights.
+
+    ``corpus`` is the collection of token sequences the IDF is computed
+    over (typically all values of the two columns being compared); rare
+    tokens dominate, so shared brand/model tokens count more than shared
+    stop words.
+    """
+    if not doc_a and not doc_b:
+        return 1.0
+    if not doc_a or not doc_b:
+        return 0.0
+    n_docs = max(len(corpus), 1)
+    doc_freq: Counter[str] = Counter()
+    for doc in corpus:
+        doc_freq.update(set(doc))
+
+    def vectorise(doc: Sequence[str]) -> dict[str, float]:
+        counts = Counter(doc)
+        return {
+            token: count * math.log((1 + n_docs) / (1 + doc_freq.get(token, 0)))
+            for token, count in counts.items()
+        }
+
+    vec_a, vec_b = vectorise(doc_a), vectorise(doc_b)
+    dot = sum(weight * vec_b.get(token, 0.0) for token, weight in vec_a.items())
+    norm_a = math.sqrt(sum(w * w for w in vec_a.values()))
+    norm_b = math.sqrt(sum(w * w for w in vec_b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 1.0 if vec_a == vec_b else 0.0
+    return max(0.0, min(1.0, dot / (norm_a * norm_b)))
+
+
+def monge_elkan(a: str, b: str, combine: str = "mean") -> float:
+    """Symmetric Monge–Elkan similarity: tokens aligned by best Jaro–Winkler.
+
+    Designed for entity names like product titles: a typo in one token
+    barely dents the score, but a different model token ("Pro 123" vs
+    "Max 999") pulls it down hard — exactly the separation whole-string
+    measures lose on long names with shared prefixes.
+
+    ``combine`` chooses how the two directed scores merge: ``"mean"``
+    (default) is containment-friendly ("Acme TV" matches "Acme TV 42-inch"
+    well); ``"min"`` demands that *both* names account for each other's
+    tokens, which separates "QA Analyst" from "Junior QA Analyst" — use it
+    for low-cardinality identity fields where one extra word means a
+    different entity.
+    """
+    def strip_stopwords(tokens: list[str]) -> list[str]:
+        kept = [t for t in tokens if t not in _STOPWORDS]
+        return kept or tokens  # a name made only of stopwords keeps them
+
+    tokens_a = strip_stopwords(_TOKEN_RE.findall(a.lower()))
+    tokens_b = strip_stopwords(_TOKEN_RE.findall(b.lower()))
+    if not tokens_a and not tokens_b:
+        return 1.0
+    if not tokens_a or not tokens_b:
+        return 0.0
+
+    def token_sim(left: str, right: str) -> float:
+        # Tokens carrying digits are codes (model numbers, house numbers,
+        # postcode fragments): two different codes are different things,
+        # however many characters they share.
+        if any(c.isdigit() for c in left) or any(c.isdigit() for c in right):
+            return 1.0 if left == right else 0.0
+        score = jaro_winkler(left, right)
+        # A word either IS the other word (with typos — scores near 1) or
+        # it is a different word; mid-range Jaro between distinct words
+        # ("engineer"/"scientist" ≈ 0.55) is noise, not half a match.
+        return score if score >= 0.85 else 0.3 * score
+
+    def directed(src: list[str], dst: list[str]) -> float:
+        return sum(
+            max(token_sim(token, other) for other in dst) for token in src
+        ) / len(src)
+
+    forward = directed(tokens_a, tokens_b)
+    backward = directed(tokens_b, tokens_a)
+    if combine == "min":
+        return min(forward, backward)
+    return (forward + backward) / 2.0
+
+
+def numeric_similarity(a: float, b: float) -> float:
+    """Relative closeness of two numbers (1.0 when equal)."""
+    if a == b:
+        return 1.0
+    denominator = max(abs(a), abs(b))
+    if denominator == 0.0:
+        return 1.0
+    return max(0.0, 1.0 - abs(a - b) / denominator)
+
+
+def name_similarity(a: str, b: str) -> float:
+    """Similarity of two attribute/entity *names*.
+
+    Combines token overlap (for multi-word names like ``offer_price`` vs
+    ``price``) with Jaro–Winkler on the compacted strings (for
+    abbreviations like ``cat`` vs ``category``), taking the max — either
+    signal alone is enough for a name to be considered close.
+    """
+    norm_a = " ".join(sorted(token_set(a)))
+    norm_b = " ".join(sorted(token_set(b)))
+    if not norm_a or not norm_b:
+        return 0.0
+    if norm_a == norm_b:
+        return 1.0
+    overlap = jaccard(token_set(a), token_set(b))
+    compact_a = norm_a.replace(" ", "")
+    compact_b = norm_b.replace(" ", "")
+    string_sim = jaro_winkler(compact_a, compact_b)
+    containment = 0.0
+    shorter_name, longer_name = sorted((a, b), key=lambda s: len("".join(token_set(s))))
+    shorter = "".join(sorted(token_set(shorter_name)))
+    longer_tokens = token_set(longer_name)
+    if (
+        len(shorter) >= 3
+        and shorter not in longer_tokens  # whole-token overlap is jaccard's job
+        and any(token.startswith(shorter) for token in longer_tokens)
+    ):
+        # Abbreviation: "cat" -> "category", "desc" -> "description".
+        longest = max(len(t) for t in longer_tokens)
+        containment = 0.75 + 0.25 * len(shorter) / longest
+    return max(overlap, string_sim, containment)

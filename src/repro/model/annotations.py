@@ -1,0 +1,118 @@
+"""Quality annotations over wrangling artifacts.
+
+The working data of Figure 1 contains "the results of all Quality analyses
+that have been carried out, which may apply to individual data sources, the
+results of different extractions and components of relevance to integration
+such as matches or mappings".  A :class:`QualityAnnotation` scores one
+quality dimension of one artifact; the :class:`AnnotationStore` indexes them
+so any component can ask "what do we currently believe about X?".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Mapping
+
+__all__ = ["Dimension", "QualityAnnotation", "AnnotationStore"]
+
+_annotation_counter = itertools.count(1)
+
+
+class Dimension(str, Enum):
+    """Quality dimensions tracked by the framework.
+
+    These are exactly the criteria the paper's user contexts trade off:
+    accuracy vs completeness vs timeliness (Example 2), plus consistency,
+    relevance, and access cost.
+    """
+
+    ACCURACY = "accuracy"
+    COMPLETENESS = "completeness"
+    CONSISTENCY = "consistency"
+    TIMELINESS = "timeliness"
+    RELEVANCE = "relevance"
+    COST = "cost"
+
+
+@dataclass(frozen=True)
+class QualityAnnotation:
+    """A scored quality judgment about one artifact.
+
+    ``target`` is the artifact key (``"source:amazon"``,
+    ``"mapping:m3"``, ``"table:wrangled/price"``, ...), ``score`` is in
+    ``[0, 1]`` (for COST, a normalised cost where higher means cheaper),
+    ``confidence`` says how much evidence backs the score, and ``origin``
+    names the analysis or feedback that produced it.
+    """
+
+    target: str
+    dimension: Dimension
+    score: float
+    confidence: float = 1.0
+    origin: str = "analysis"
+    details: str = ""
+    aid: int = field(default_factory=lambda: next(_annotation_counter))
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise ValueError(f"annotation score must be in [0,1], got {self.score}")
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(
+                f"annotation confidence must be in [0,1], got {self.confidence}"
+            )
+
+
+class AnnotationStore:
+    """An indexed, append-only store of quality annotations."""
+
+    def __init__(self) -> None:
+        self._by_target: dict[str, list[QualityAnnotation]] = {}
+
+    def add(self, annotation: QualityAnnotation) -> None:
+        """Record one annotation."""
+        self._by_target.setdefault(annotation.target, []).append(annotation)
+
+    def __len__(self) -> int:
+        return sum(len(items) for items in self._by_target.values())
+
+    def __iter__(self) -> Iterator[QualityAnnotation]:
+        for items in self._by_target.values():
+            yield from items
+
+    def for_target(
+        self, target: str, dimension: Dimension | None = None
+    ) -> list[QualityAnnotation]:
+        """All annotations on ``target``, optionally restricted by dimension."""
+        items = self._by_target.get(target, [])
+        if dimension is None:
+            return list(items)
+        return [a for a in items if a.dimension is dimension]
+
+    def score(
+        self, target: str, dimension: Dimension, default: float = 0.5
+    ) -> float:
+        """Confidence-weighted mean score of ``dimension`` on ``target``.
+
+        Later annotations count like any other; disagreement averages out
+        by weight.  ``default`` is returned when nothing is known.
+        """
+        items = self.for_target(target, dimension)
+        if not items:
+            return default
+        total_weight = sum(a.confidence for a in items)
+        if total_weight == 0.0:
+            return default
+        return sum(a.score * a.confidence for a in items) / total_weight
+
+    def profile(self, target: str) -> Mapping[Dimension, float]:
+        """Scores per dimension annotated on ``target``."""
+        result: dict[Dimension, float] = {}
+        for annotation in self._by_target.get(target, []):
+            result[annotation.dimension] = self.score(target, annotation.dimension)
+        return result
+
+    def targets(self) -> list[str]:
+        """All artifact keys that carry at least one annotation."""
+        return sorted(self._by_target)

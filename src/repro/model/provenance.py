@@ -1,0 +1,99 @@
+"""Provenance trees for every value in the working data.
+
+Section 4.2 of the paper calls for "a uniform representation for ... schema
+mappings, user feedback and provenance information".  Here provenance is an
+immutable tree: leaves name the originating source, inner nodes record the
+wrangling step (extraction, mapping, resolution, fusion, repair, feedback)
+that produced a value from its inputs.  Because nodes are frozen and
+hashable they can be shared freely between values, so the memory cost is
+proportional to the number of *steps*, not the number of cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator
+
+__all__ = ["Step", "Provenance"]
+
+
+class Step(str, Enum):
+    """The kind of wrangling step a provenance node records."""
+
+    SOURCE = "source"
+    EXTRACTION = "extraction"
+    MAPPING = "mapping"
+    RESOLUTION = "resolution"
+    FUSION = "fusion"
+    REPAIR = "repair"
+    FEEDBACK = "feedback"
+    GENERATED = "generated"
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """An immutable provenance tree node.
+
+    ``step`` says what happened, ``ref`` names the responsible artifact
+    (source name, wrapper id, mapping id, ...), and ``inputs`` are the
+    provenance trees of the values consumed by the step.
+    """
+
+    step: Step
+    ref: str
+    inputs: tuple["Provenance", ...] = field(default_factory=tuple)
+
+    @classmethod
+    def source(cls, name: str) -> "Provenance":
+        """A leaf node: the value came directly from source ``name``."""
+        return cls(Step.SOURCE, name)
+
+    @classmethod
+    def generated(cls, ref: str = "synthetic") -> "Provenance":
+        """A leaf node for synthetic / ground-truth data."""
+        return cls(Step.GENERATED, ref)
+
+    def derive(self, step: Step, ref: str) -> "Provenance":
+        """Return a new node recording ``step`` applied to this value."""
+        return Provenance(step, ref, (self,))
+
+    @classmethod
+    def combine(
+        cls, step: Step, ref: str, inputs: tuple["Provenance", ...]
+    ) -> "Provenance":
+        """Return a node recording ``step`` over several input values."""
+        return cls(step, ref, inputs)
+
+    def walk(self) -> Iterator["Provenance"]:
+        """Yield this node and all descendants, pre-order."""
+        stack: list[Provenance] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.inputs)
+
+    def sources(self) -> frozenset[str]:
+        """The set of source names at the leaves of this tree."""
+        return frozenset(
+            node.ref for node in self.walk() if node.step is Step.SOURCE
+        )
+
+    def steps(self) -> tuple[Step, ...]:
+        """All step kinds appearing in the tree (with repetition, pre-order)."""
+        return tuple(node.step for node in self.walk())
+
+    def depth(self) -> int:
+        """The longest step chain from this node to a leaf."""
+        if not self.inputs:
+            return 1
+        return 1 + max(child.depth() for child in self.inputs)
+
+    def why(self, indent: int = 0) -> str:
+        """A human-readable multi-line explanation of this value's lineage."""
+        pad = "  " * indent
+        line = f"{pad}{self.step.value}: {self.ref}"
+        if not self.inputs:
+            return line
+        children = "\n".join(child.why(indent + 1) for child in self.inputs)
+        return f"{line}\n{children}"

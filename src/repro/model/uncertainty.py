@@ -1,0 +1,201 @@
+"""Uncertainty representation and evidence combination.
+
+The paper insists that "uncertainty is represented explicitly and reasoned
+with systematically" (Section 4.2): sources are unreliable, extraction rules
+are tentative, ontologies are approximate, and feedback itself may be wrong.
+This module provides the shared algebra every component uses:
+
+* confidences are probabilities in ``[0, 1]``;
+* independent supporting evidence combines by *noisy-or*;
+* weighted, possibly conflicting evidence combines by *log-odds pooling*;
+* Bayes updates fold a likelihood-ratio observation into a prior;
+* :class:`BetaReliability` tracks the reliability of a source, wrapper, or
+  crowd worker as a Beta posterior over observed successes/failures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "clamp",
+    "noisy_or",
+    "log_odds_pool",
+    "bayes_update",
+    "Evidence",
+    "pool_evidence",
+    "BetaReliability",
+]
+
+# Confidences are clamped away from hard 0/1 so log-odds stay finite and a
+# single overconfident component can never veto all other evidence.
+_EPSILON = 1e-6
+
+
+def clamp(p: float, low: float = 0.0, high: float = 1.0) -> float:
+    """Clamp ``p`` into ``[low, high]``."""
+    return max(low, min(high, p))
+
+
+def noisy_or(probabilities: Iterable[float]) -> float:
+    """Combine independent supporting evidence.
+
+    Each probability is the chance that one piece of evidence alone
+    establishes the fact; the result is the chance that at least one does.
+    An empty iterable yields 0.0 (no evidence, no belief).
+    """
+    survival = 1.0
+    for p in probabilities:
+        survival *= 1.0 - clamp(p)
+    return 1.0 - survival
+
+
+def _logit(p: float) -> float:
+    p = clamp(p, _EPSILON, 1.0 - _EPSILON)
+    return math.log(p / (1.0 - p))
+
+
+def _sigmoid(x: float) -> float:
+    if x >= 0:
+        z = math.exp(-x)
+        return 1.0 / (1.0 + z)
+    z = math.exp(x)
+    return z / (1.0 + z)
+
+
+def log_odds_pool(
+    probabilities: Sequence[float],
+    weights: Sequence[float] | None = None,
+    prior: float = 0.5,
+) -> float:
+    """Pool conflicting evidence as a weighted sum of log-odds.
+
+    Probabilities above ``prior`` push belief up, below push it down; the
+    weights let the caller discount less reliable evidence (e.g. crowd
+    feedback vs expert feedback).  With no evidence the prior is returned.
+    """
+    if weights is None:
+        weights = [1.0] * len(probabilities)
+    if len(weights) != len(probabilities):
+        raise ValueError("weights and probabilities must have equal length")
+    total = _logit(prior)
+    for p, w in zip(probabilities, weights):
+        total += w * (_logit(p) - _logit(prior))
+    return _sigmoid(total)
+
+
+def bayes_update(prior: float, likelihood_true: float, likelihood_false: float) -> float:
+    """Posterior of a fact after observing evidence with the given likelihoods.
+
+    ``likelihood_true`` is P(observation | fact holds) and
+    ``likelihood_false`` is P(observation | fact does not hold).
+    """
+    prior = clamp(prior, _EPSILON, 1.0 - _EPSILON)
+    numerator = likelihood_true * prior
+    denominator = numerator + likelihood_false * (1.0 - prior)
+    if denominator <= 0.0:
+        return prior
+    return numerator / denominator
+
+
+@dataclass(frozen=True)
+class Evidence:
+    """One piece of evidence about a proposition.
+
+    ``confidence`` is the probability the proposition holds given only this
+    evidence; ``weight`` scales its influence when pooled; ``kind`` names
+    the evidence channel (``"name-similarity"``, ``"ontology"``,
+    ``"feedback"``, ...) so ablation experiments can switch channels off.
+    """
+
+    kind: str
+    confidence: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(
+                f"evidence confidence must be in [0,1], got {self.confidence}"
+            )
+        if self.weight < 0.0:
+            raise ValueError(f"evidence weight must be >= 0, got {self.weight}")
+
+
+def pool_evidence(
+    evidence: Sequence[Evidence],
+    prior: float = 0.5,
+    method: str = "log-odds",
+) -> float:
+    """Combine a bag of :class:`Evidence` into a single confidence.
+
+    ``method`` is ``"log-odds"`` (default; handles conflict) or
+    ``"noisy-or"`` (supporting evidence only, ignores weights below 1 by
+    scaling confidences).
+    """
+    if not evidence:
+        return prior
+    if method == "log-odds":
+        return log_odds_pool(
+            [e.confidence for e in evidence],
+            [e.weight for e in evidence],
+            prior=prior,
+        )
+    if method == "noisy-or":
+        return noisy_or(e.confidence * min(e.weight, 1.0) for e in evidence)
+    raise ValueError(f"unknown pooling method: {method!r}")
+
+
+@dataclass
+class BetaReliability:
+    """Beta-posterior reliability of a source, wrapper, or worker.
+
+    Starts from a weakly informative Beta(alpha, beta) prior and is updated
+    with observed successes and failures (e.g. feedback saying an extracted
+    value was right or wrong).  ``mean`` is the point estimate used by the
+    rest of the system; ``credible_interval`` quantifies how much evidence
+    backs it, which the pay-as-you-go planner uses to decide where the next
+    unit of feedback is most valuable.
+    """
+
+    alpha: float = 1.0
+    beta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ValueError("Beta parameters must be positive")
+
+    @property
+    def mean(self) -> float:
+        """Posterior mean reliability."""
+        return self.alpha / (self.alpha + self.beta)
+
+    @property
+    def strength(self) -> float:
+        """Total pseudo-observations backing the estimate."""
+        return self.alpha + self.beta
+
+    @property
+    def variance(self) -> float:
+        """Posterior variance of the reliability."""
+        total = self.alpha + self.beta
+        return (self.alpha * self.beta) / (total * total * (total + 1.0))
+
+    def update(self, success: bool, weight: float = 1.0) -> None:
+        """Fold in one observation (optionally fractionally weighted)."""
+        if weight < 0:
+            raise ValueError("observation weight must be >= 0")
+        if success:
+            self.alpha += weight
+        else:
+            self.beta += weight
+
+    def credible_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation credible interval for the reliability."""
+        spread = z * math.sqrt(self.variance)
+        return (clamp(self.mean - spread), clamp(self.mean + spread))
+
+    def copy(self) -> "BetaReliability":
+        """An independent copy of this posterior."""
+        return BetaReliability(self.alpha, self.beta)

@@ -1,0 +1,124 @@
+"""The working-data store at the centre of the paper's Figure 1.
+
+All intermediate results of the wrangling process — extracted tables,
+matches, mappings, wrappers, fused entities — are stored here "for
+on-demand recombination, depending on the user context and the potentially
+continually evolving data context" (Section 4.2).  The store is a typed
+blackboard: artifacts live under ``category/key`` addresses, carry
+versions, and changes are observable so the incremental dataflow engine can
+invalidate exactly the dependent computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.model.annotations import AnnotationStore
+
+__all__ = ["ArtifactKey", "WorkingData"]
+
+
+@dataclass(frozen=True, order=True)
+class ArtifactKey:
+    """The address of one artifact in the working data."""
+
+    category: str
+    key: str
+
+    def __str__(self) -> str:
+        return f"{self.category}:{self.key}"
+
+
+@dataclass
+class _Entry:
+    value: Any
+    version: int = 1
+
+
+class WorkingData:
+    """A versioned blackboard of wrangling artifacts plus quality annotations.
+
+    Categories used by the framework (others are free for applications):
+
+    * ``table`` — extracted / mapped / fused :class:`~repro.model.records.Table`
+    * ``match`` — schema correspondences
+    * ``mapping`` — schema mappings
+    * ``wrapper`` — induced extraction wrappers
+    * ``entity`` — resolved/fused entities
+    * ``report`` — quality reports
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[ArtifactKey, _Entry] = {}
+        self.annotations = AnnotationStore()
+        self._listeners: list[Callable[[ArtifactKey], None]] = []
+
+    def put(self, category: str, key: str, value: Any) -> ArtifactKey:
+        """Store (or overwrite) an artifact; bumps its version and notifies
+        change listeners."""
+        akey = ArtifactKey(category, key)
+        entry = self._entries.get(akey)
+        if entry is None:
+            self._entries[akey] = _Entry(value)
+        else:
+            entry.value = value
+            entry.version += 1
+        for listener in self._listeners:
+            listener(akey)
+        return akey
+
+    def get(self, category: str, key: str, default: Any = None) -> Any:
+        """The artifact at ``category:key``, or ``default``."""
+        entry = self._entries.get(ArtifactKey(category, key))
+        return default if entry is None else entry.value
+
+    def require(self, category: str, key: str) -> Any:
+        """The artifact at ``category:key``; raises ``KeyError`` if absent."""
+        akey = ArtifactKey(category, key)
+        if akey not in self._entries:
+            raise KeyError(f"no artifact at {akey}")
+        return self._entries[akey].value
+
+    def version(self, category: str, key: str) -> int:
+        """The artifact's version (0 when absent)."""
+        entry = self._entries.get(ArtifactKey(category, key))
+        return 0 if entry is None else entry.version
+
+    def contains(self, category: str, key: str) -> bool:
+        """Whether an artifact exists at ``category:key``."""
+        return ArtifactKey(category, key) in self._entries
+
+    def remove(self, category: str, key: str) -> bool:
+        """Delete an artifact; returns whether it existed."""
+        akey = ArtifactKey(category, key)
+        existed = self._entries.pop(akey, None) is not None
+        if existed:
+            for listener in self._listeners:
+                listener(akey)
+        return existed
+
+    def keys(self, category: str | None = None) -> list[ArtifactKey]:
+        """All artifact keys, optionally restricted to one category."""
+        if category is None:
+            return sorted(self._entries)
+        return sorted(k for k in self._entries if k.category == category)
+
+    def items(self, category: str) -> Iterator[tuple[str, Any]]:
+        """Iterate ``(key, value)`` pairs within one category."""
+        for akey in self.keys(category):
+            yield akey.key, self._entries[akey].value
+
+    def on_change(self, listener: Callable[[ArtifactKey], None]) -> None:
+        """Register a callback invoked with the key of every change."""
+        self._listeners.append(listener)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def summary(self) -> dict[str, int]:
+        """Artifact counts per category."""
+        counts: dict[str, int] = {}
+        for akey in self._entries:
+            counts[akey.category] = counts.get(akey.category, 0) + 1
+        return dict(sorted(counts.items()))

@@ -1,0 +1,31 @@
+"""Quality analyses: profiling, dimension metrics, constraints, repair."""
+
+from repro.quality.constraints import (
+    ConditionalFD,
+    Constraint,
+    FunctionalDependency,
+    Violation,
+    violations,
+)
+from repro.quality.discovery import DiscoveredFD, discover_fds
+from repro.quality.metrics import QualityAnalyser, QualityReport
+from repro.quality.profiling import ColumnProfile, TableProfile, profile_table
+from repro.quality.repair import CellRepair, RepairResult, repair_table
+
+__all__ = [
+    "CellRepair",
+    "ColumnProfile",
+    "ConditionalFD",
+    "DiscoveredFD",
+    "Constraint",
+    "FunctionalDependency",
+    "QualityAnalyser",
+    "QualityReport",
+    "RepairResult",
+    "TableProfile",
+    "Violation",
+    "discover_fds",
+    "profile_table",
+    "repair_table",
+    "violations",
+]

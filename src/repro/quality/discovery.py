@@ -1,0 +1,124 @@
+"""Functional-dependency discovery from data.
+
+Hand-written constraints do not scale to "thousands of sources"
+(Section 1); the quality component should *mine* the dependencies the
+data already obeys and feed them to violation detection and repair.  This
+is a TANE-style level-1/2 discovery: exact and approximate FDs with one-
+or two-attribute left-hand sides, scored by the g3 error measure (the
+minimum fraction of rows to remove for the FD to hold exactly).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.model.records import Table
+from repro.quality.constraints import FunctionalDependency
+
+__all__ = ["DiscoveredFD", "discover_fds"]
+
+
+@dataclass(frozen=True)
+class DiscoveredFD:
+    """A mined dependency with its support and error."""
+
+    fd: FunctionalDependency
+    support: int  # rows with a fully populated LHS and RHS
+    error: float  # g3: min fraction of violating rows
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the FD holds with no violations at all."""
+        return self.error == 0.0
+
+
+def _g3_error(
+    groups: dict[tuple[object, ...], dict[object, int]], support: int
+) -> float:
+    """The g3 measure: rows to delete so every group agrees, normalised."""
+    if support == 0:
+        return 0.0
+    keep = sum(max(counts.values()) for counts in groups.values())
+    return (support - keep) / support
+
+
+def discover_fds(
+    table: Table,
+    max_lhs: int = 2,
+    max_error: float = 0.05,
+    min_support: int = 5,
+    max_distinct_ratio: float = 0.9,
+) -> list[DiscoveredFD]:
+    """Mine (approximate) FDs with small left-hand sides.
+
+    ``max_error`` admits approximate dependencies (g3 <= max_error), which
+    is what dirty data exhibits — an exact-only miner would find nothing
+    precisely where repair is needed.  Near-key attributes (distinctness
+    above ``max_distinct_ratio``) are skipped as LHS candidates: a key
+    trivially determines everything, which is true but useless for repair.
+    Trivial, redundant (superset-LHS of an already-found FD with equal or
+    worse error) and reverse-of-key dependencies are pruned.
+    """
+    names = [
+        name for name in table.schema.names if not name.startswith("_")
+    ]
+    if len(table) == 0 or len(names) < 2:
+        return []
+
+    columns = {name: table.raw_column(name) for name in names}
+    populated = {
+        name: sum(1 for value in columns[name] if value is not None)
+        for name in names
+    }
+    distinct = {
+        name: len({value for value in columns[name] if value is not None})
+        for name in names
+    }
+
+    lhs_candidates: list[tuple[str, ...]] = []
+    for name in names:
+        if populated[name] == 0:
+            continue
+        if distinct[name] / populated[name] > max_distinct_ratio:
+            continue  # near-key: determines everything trivially
+        lhs_candidates.append((name,))
+    if max_lhs >= 2:
+        singles = [lhs[0] for lhs in lhs_candidates]
+        for left, right in itertools.combinations(singles, 2):
+            lhs_candidates.append((left, right))
+
+    found: list[DiscoveredFD] = []
+    exact_pairs: set[tuple[str, str]] = set()
+    for lhs in lhs_candidates:
+        for rhs in names:
+            if rhs in lhs:
+                continue
+            if len(lhs) == 2 and (
+                (lhs[0], rhs) in exact_pairs or (lhs[1], rhs) in exact_pairs
+            ):
+                # a superset of an exact LHS adds nothing for this RHS
+                continue
+            groups: dict[tuple[object, ...], dict[object, int]] = defaultdict(
+                lambda: defaultdict(int)
+            )
+            support = 0
+            for index in range(len(table)):
+                key = tuple(columns[name][index] for name in lhs)
+                value = columns[rhs][index]
+                if any(part is None for part in key) or value is None:
+                    continue
+                groups[key][value] += 1
+                support += 1
+            if support < min_support:
+                continue
+            error = _g3_error(groups, support)
+            if error <= max_error:
+                fd = FunctionalDependency(lhs, rhs)
+                found.append(DiscoveredFD(fd, support, error))
+                if error == 0.0 and len(lhs) == 1:
+                    exact_pairs.add((lhs[0], rhs))
+    found.sort(key=lambda d: (d.error, -d.support, d.fd.name))
+    return found

@@ -1,0 +1,41 @@
+"""Entity resolution: blocking, comparison, learned match rules, clustering."""
+
+from repro.resolution.blocking import (
+    full_pairs,
+    recall_of,
+    sorted_neighbourhood,
+    token_blocking,
+)
+from repro.resolution.comparison import (
+    FieldComparator,
+    RecordComparator,
+    default_comparator,
+    geo_similarity,
+    profiled_comparator,
+)
+from repro.resolution.er import EntityCluster, EntityResolver, ResolutionResult
+from repro.resolution.rules import (
+    LearnedRule,
+    MatchDecision,
+    ThresholdRule,
+    fit_threshold,
+)
+
+__all__ = [
+    "EntityCluster",
+    "EntityResolver",
+    "FieldComparator",
+    "LearnedRule",
+    "MatchDecision",
+    "RecordComparator",
+    "ResolutionResult",
+    "ThresholdRule",
+    "default_comparator",
+    "profiled_comparator",
+    "fit_threshold",
+    "full_pairs",
+    "geo_similarity",
+    "recall_of",
+    "sorted_neighbourhood",
+    "token_blocking",
+]

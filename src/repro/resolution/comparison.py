@@ -1,0 +1,250 @@
+"""Record-pair comparison: per-field measures pooled into one similarity."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ResolutionError
+from repro.matching.similarity import (
+    jaccard,
+    jaro_winkler,
+    levenshtein_similarity,
+    monge_elkan,
+    numeric_similarity,
+    token_set,
+)
+from repro.model.records import Record
+from repro.model.schema import DataType, Schema
+
+__all__ = ["FieldComparator", "RecordComparator", "default_comparator", "geo_similarity"]
+
+
+def geo_similarity(a: object, b: object, scale_degrees: float = 0.05) -> float:
+    """Closeness of two coordinate pairs, decaying over ``scale_degrees``.
+
+    Accepts ``(lat, lon)`` tuples or ``"lat, lon"`` strings; 1.0 at zero
+    distance, ~0.37 at one scale length (the default, 0.05°, is ~5 km —
+    city-block resolution), → 0 beyond.
+    """
+
+    def parse(value: object) -> tuple[float, float] | None:
+        if isinstance(value, tuple) and len(value) == 2:
+            return (float(value[0]), float(value[1]))
+        try:
+            lat_text, lon_text = str(value).split(",")
+            return (float(lat_text), float(lon_text))
+        except (ValueError, AttributeError):
+            return None
+
+    point_a, point_b = parse(a), parse(b)
+    if point_a is None or point_b is None:
+        return 0.0
+    distance = math.hypot(point_a[0] - point_b[0], point_a[1] - point_b[1])
+    return math.exp(-distance / scale_degrees)
+
+
+_MEASURES: dict[str, Callable[[object, object], float]] = {
+    "jaro": lambda a, b: jaro_winkler(str(a).lower(), str(b).lower()),
+    "levenshtein": lambda a, b: levenshtein_similarity(
+        str(a).lower(), str(b).lower()
+    ),
+    "jaccard": lambda a, b: jaccard(token_set(str(a)), token_set(str(b))),
+    "tokens": lambda a, b: monge_elkan(str(a), str(b)),
+    "tokens_strict": lambda a, b: monge_elkan(str(a), str(b), combine="min"),
+    "numeric": lambda a, b: (
+        numeric_similarity(float(a), float(b))
+        if _is_number(a) and _is_number(b)
+        else 0.0
+    ),
+    "geo": geo_similarity,
+    "exact": lambda a, b: 1.0 if str(a).lower() == str(b).lower() else 0.0,
+}
+
+
+def _is_number(value: object) -> bool:
+    try:
+        float(str(value))
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
+@dataclass(frozen=True)
+class FieldComparator:
+    """How to compare one attribute across a record pair."""
+
+    attribute: str
+    measure: str = "jaro"
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.measure not in _MEASURES:
+            raise ResolutionError(
+                f"unknown measure {self.measure!r}; "
+                f"known: {sorted(_MEASURES)}"
+            )
+        if self.weight < 0:
+            raise ResolutionError("comparator weight must be non-negative")
+
+    def compare(self, left: Record, right: Record) -> float | None:
+        """Similarity of the attribute across the pair, or ``None`` when
+        either side is missing (missing data is no evidence either way)."""
+        value_left = left.get(self.attribute)
+        value_right = right.get(self.attribute)
+        if value_left.is_missing or value_right.is_missing:
+            return None
+        return _MEASURES[self.measure](value_left.raw, value_right.raw)
+
+
+@dataclass(frozen=True)
+class RecordComparator:
+    """A weighted bundle of field comparators.
+
+    ``similarity`` is the weighted mean over comparable fields; pairs with
+    no comparable field score 0 (nothing supports a match).  ``vector``
+    exposes the raw per-field similarities for the learned match rules.
+    """
+
+    fields: tuple[FieldComparator, ...]
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise ResolutionError("record comparator needs at least one field")
+
+    def vector(self, left: Record, right: Record) -> list[float | None]:
+        """Per-field similarities (``None`` where incomparable)."""
+        return [field.compare(left, right) for field in self.fields]
+
+    def similarity(self, left: Record, right: Record) -> float:
+        """Weighted mean similarity over comparable fields."""
+        total = 0.0
+        weight_sum = 0.0
+        for field in self.fields:
+            score = field.compare(left, right)
+            if score is None:
+                continue
+            total += field.weight * score
+            weight_sum += field.weight
+        if weight_sum == 0.0:
+            return 0.0
+        return total / weight_sum
+
+    def attribute_names(self) -> tuple[str, ...]:
+        """The attributes this comparator inspects."""
+        return tuple(field.attribute for field in self.fields)
+
+
+_MEASURE_FOR_DTYPE = {
+    DataType.STRING: "jaro",
+    DataType.INTEGER: "numeric",
+    DataType.FLOAT: "numeric",
+    DataType.CURRENCY: "numeric",
+    DataType.BOOLEAN: "exact",
+    DataType.DATE: "exact",
+    DataType.URL: "exact",
+    DataType.GEO: "geo",
+}
+
+
+def default_comparator(
+    schema: Schema, attributes: Sequence[str] | None = None
+) -> RecordComparator:
+    """A sensible comparator derived from the schema.
+
+    Identity evidence is concentrated where it belongs: required STRING
+    attributes (entity names) use token-level matching at triple weight;
+    GEO is genuine identity evidence at full weight; all other attributes
+    count at 0.5 — shared brand or category is weak support, not identity.
+    URL, DATE, and CURRENCY attributes are excluded entirely: a URL names
+    the *offer at one source*, a date the *observation*, and a price the
+    *measurement* (the paper's "highly transient information", Section
+    3.1) — honest records of the same entity disagree on all three.
+    """
+    names = list(attributes) if attributes is not None else [
+        a.name
+        for a in schema
+        if not a.name.startswith("_")
+        and a.dtype not in (DataType.URL, DataType.DATE, DataType.CURRENCY)
+    ]
+    fields = []
+    for name in names:
+        attribute = schema.get(name)
+        dtype = attribute.dtype if attribute is not None else DataType.STRING
+        required = attribute is not None and attribute.required
+        measure = _MEASURE_FOR_DTYPE.get(dtype, "jaro")
+        if required and dtype is DataType.STRING:
+            # Entity names: token-level matching separates "Pro 123" from
+            # "Max 999" where whole-string Jaro does not.
+            measure = "tokens"
+        if required:
+            weight = 3.0
+        elif dtype is DataType.GEO:
+            weight = 1.0
+        else:
+            weight = 0.5
+        fields.append(FieldComparator(name, measure, weight))
+    return RecordComparator(tuple(fields))
+
+
+def profiled_comparator(
+    schema: Schema, table: "object", attributes: Sequence[str] | None = None
+) -> RecordComparator:
+    """A comparator whose weights follow measured attribute selectivity.
+
+    A declared-required attribute is not necessarily *identifying*: a city
+    is required for a business record yet shared by thousands of
+    businesses.  Profiling the actual data fixes this — each attribute's
+    weight is ``0.5 + 2.5 x distinctness``, so near-key attributes (names)
+    dominate and low-selectivity attributes (city, category) merely nudge.
+    String attributes with distinctness >= 0.3 compare token-wise.
+    Exclusions (URL/DATE/CURRENCY, leading underscore) are as in
+    :func:`default_comparator`.
+    """
+    names = list(attributes) if attributes is not None else [
+        a.name
+        for a in schema
+        if not a.name.startswith("_")
+        and a.dtype not in (DataType.URL, DataType.DATE, DataType.CURRENCY)
+    ]
+    distinctness: dict[str, float] = {}
+    for name in names:
+        raws = [
+            value.raw
+            for value in table.column(name)  # type: ignore[attr-defined]
+            if not value.is_missing
+        ] if name in getattr(table, "schema", Schema(())) else []
+        distinctness[name] = (
+            len(set(map(str, raws))) / len(raws) if raws else 0.5
+        )
+    # Duplicated entities depress the raw distinctness of the identity key
+    # itself (that is why ER is running!), so selectivity is *relative*:
+    # the most selective attribute anchors the scale.
+    ceiling = max(distinctness.values(), default=0.5) or 0.5
+    fields = []
+    for name in names:
+        attribute = schema.get(name)
+        dtype = attribute.dtype if attribute is not None else DataType.STRING
+        required = attribute is not None and attribute.required
+        selectivity = distinctness[name] / ceiling
+        measure = _MEASURE_FOR_DTYPE.get(dtype, "jaro")
+        if dtype is DataType.STRING and (selectivity >= 0.3 or required):
+            measure = "tokens"
+            if required:
+                # Identity fields: one extra word usually means a
+                # different entity ("QA Analyst" vs "Junior QA Analyst"),
+                # so demand both directions account for each other's
+                # tokens.
+                measure = "tokens_strict"
+        if dtype is DataType.GEO:
+            weight = 1.0
+        else:
+            weight = 0.5 + 2.5 * selectivity
+            if required:
+                # Declared-required attributes are part of the entity's
+                # identity even when their value space is small (the same
+                # title at two employers is two different jobs).
+                weight = max(weight, 3.0)
+        fields.append(FieldComparator(name, measure, weight))
+    return RecordComparator(tuple(fields))

@@ -1,0 +1,177 @@
+"""The entity resolution pipeline: block, compare, decide, cluster.
+
+Matched pairs are closed under transitivity by connected-component
+clustering (networkx), so the output is a partition of the input records
+into entities — ready for the fusion component to reconcile.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence
+
+import networkx as nx
+
+from repro.model.records import Record, Table
+from repro.resolution.blocking import full_pairs, token_blocking
+from repro.resolution.comparison import RecordComparator, default_comparator
+from repro.resolution.rules import MatchDecision, ThresholdRule
+
+__all__ = ["EntityCluster", "ResolutionResult", "EntityResolver"]
+
+
+class _Rule(Protocol):
+    def decide(
+        self, similarity: float, vector: Sequence[float | None]
+    ) -> MatchDecision: ...
+
+
+def _stable_cluster_id(records: Sequence[Record]) -> str:
+    """A content-derived entity id, stable across pipeline re-runs.
+
+    Feedback refers to entities by id; positional ids ("entity-7") break
+    the moment re-planning changes the record set, silently mis-binding
+    old judgments.  Hashing the members' source + leading field keeps ids
+    stable whenever the entity's membership is unchanged.
+    """
+    from repro.model.schema import DataType
+
+    transient = (DataType.URL, DataType.DATE, DataType.CURRENCY)
+
+    def signature(record: Record) -> str:
+        # Identity-bearing cells only: prices, dates, and URLs are the
+        # values that *change between runs* — hashing them would give the
+        # same entity a new id on every price move, breaking both feedback
+        # binding and change detection.
+        cells = ",".join(
+            f"{name}={record.cells[name].raw}"
+            for name in sorted(record.cells)
+            if not name.startswith("_")
+            and not record.cells[name].is_missing
+            and record.cells[name].dtype not in transient
+        )
+        return f"{record.source}|{cells}"
+
+    digest = hashlib.sha1()
+    for line in sorted(signature(record) for record in records):
+        digest.update(line.encode("utf-8"))
+        digest.update(b";")
+    return f"entity-{digest.hexdigest()[:10]}"
+
+
+@dataclass
+class EntityCluster:
+    """One resolved entity: the records claimed to be the same thing."""
+
+    cluster_id: str
+    records: list[Record]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def sources(self) -> frozenset[str]:
+        """The sources contributing to this entity."""
+        return frozenset(record.source for record in self.records)
+
+
+@dataclass
+class ResolutionResult:
+    """The full output of one ER run."""
+
+    clusters: list[EntityCluster]
+    matched_pairs: dict[tuple[str, str], float] = field(default_factory=dict)
+    compared: int = 0
+    candidate_pairs: int = 0
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def non_singleton(self) -> list[EntityCluster]:
+        """Clusters merging at least two records."""
+        return [cluster for cluster in self.clusters if len(cluster) > 1]
+
+    def pair_set(self) -> set[tuple[str, str]]:
+        """All within-cluster record-id pairs (transitively closed)."""
+        pairs: set[tuple[str, str]] = set()
+        for cluster in self.clusters:
+            rids = sorted(record.rid for record in cluster.records)
+            for i, left in enumerate(rids):
+                for right in rids[i + 1:]:
+                    pairs.add((left, right))
+        return pairs
+
+
+class EntityResolver:
+    """A configurable block → compare → decide → cluster pipeline.
+
+    Defaults: token blocking on the given key attributes (falling back to
+    exhaustive pairs for tiny tables), the schema-derived comparator, and
+    a threshold rule — everything replaceable, and everything retrainable
+    from feedback via :mod:`repro.feedback.propagation`.
+    """
+
+    def __init__(
+        self,
+        comparator: RecordComparator | None = None,
+        rule: _Rule | None = None,
+        blocking_attributes: Sequence[str] | None = None,
+        blocker: Callable[[Table], set[tuple[int, int]]] | None = None,
+        small_table_cutoff: int = 30,
+    ) -> None:
+        self.comparator = comparator
+        self.rule: _Rule = rule if rule is not None else ThresholdRule(0.8)
+        self.blocking_attributes = (
+            tuple(blocking_attributes) if blocking_attributes else None
+        )
+        self.blocker = blocker
+        self.small_table_cutoff = small_table_cutoff
+
+    def _candidate_pairs(self, table: Table) -> set[tuple[int, int]]:
+        if self.blocker is not None:
+            return self.blocker(table)
+        if len(table) <= self.small_table_cutoff:
+            return full_pairs(table)
+        attributes = self.blocking_attributes
+        if attributes is None:
+            attributes = tuple(
+                a.name
+                for a in table.schema
+                if a.required and not a.name.startswith("_")
+            ) or tuple(
+                name for name in table.schema.names if not name.startswith("_")
+            )[:2]
+        return token_blocking(table, attributes)
+
+    def resolve(self, table: Table) -> ResolutionResult:
+        """Partition ``table`` into entity clusters."""
+        comparator = self.comparator or default_comparator(table.schema)
+        pairs = self._candidate_pairs(table)
+        graph = nx.Graph()
+        graph.add_nodes_from(range(len(table)))
+        matched: dict[tuple[str, str], float] = {}
+        compared = 0
+        for left_index, right_index in sorted(pairs):
+            left = table.records[left_index]
+            right = table.records[right_index]
+            vector = comparator.vector(left, right)
+            similarity = comparator.similarity(left, right)
+            compared += 1
+            decision = self.rule.decide(similarity, vector)
+            if decision.is_match:
+                graph.add_edge(left_index, right_index)
+                key = tuple(sorted((left.rid, right.rid)))
+                matched[key] = decision.confidence  # type: ignore[index]
+
+        clusters = []
+        for component in nx.connected_components(graph):
+            records = [table.records[index] for index in sorted(component)]
+            clusters.append(EntityCluster(_stable_cluster_id(records), records))
+        clusters.sort(key=lambda c: c.cluster_id)
+        return ResolutionResult(
+            clusters,
+            matched_pairs=matched,
+            compared=compared,
+            candidate_pairs=len(pairs),
+        )

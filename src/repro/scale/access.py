@@ -1,0 +1,178 @@
+"""Access-bounded (scale-independent) query evaluation.
+
+After Fan, Geerts & Libkin, "On Scale Independence for Querying Big Data"
+(PODS 2014, [17] in the paper): a query is boundedly evaluable when it can
+be answered by fetching at most M tuples regardless of the database size,
+given access constraints (indexes with output bounds).  The evaluator here
+enforces a hard tuple-access budget: atoms are evaluated through declared
+index accesses, every fetched tuple is counted, and exceeding the budget
+raises rather than silently scanning — which is exactly the discipline the
+paper says big-data wrangling queries need.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import QueryError
+from repro.model.records import Table
+from repro.scale.queries import Atom, ConjunctiveQuery, Variable
+
+__all__ = ["AccessConstraint", "BoundedEvaluator", "AccessBudgetExceeded"]
+
+
+class AccessBudgetExceeded(QueryError):
+    """The query needed more tuple accesses than the declared budget."""
+
+
+@dataclass(frozen=True)
+class AccessConstraint:
+    """An index on ``relation(key_attributes)`` returning <= ``bound`` rows
+    per lookup (the access schema of scale-independent evaluation)."""
+
+    relation: str
+    key_attributes: tuple[str, ...]
+    bound: int
+
+    def __post_init__(self) -> None:
+        if self.bound <= 0:
+            raise QueryError("access bound must be positive")
+
+
+class BoundedEvaluator:
+    """Evaluates CQs under a total tuple-access budget via index lookups."""
+
+    def __init__(
+        self,
+        constraints: list[AccessConstraint],
+        budget: int,
+    ) -> None:
+        if budget <= 0:
+            raise QueryError("access budget must be positive")
+        self.constraints = constraints
+        self.budget = budget
+        self.accesses = 0
+
+    def _index_for(
+        self, atom: Atom, bound_variables: set[str]
+    ) -> AccessConstraint | None:
+        """An access constraint usable given the currently bound variables."""
+        for constraint in self.constraints:
+            if constraint.relation != atom.relation:
+                continue
+            usable = True
+            for key in constraint.key_attributes:
+                term = atom.bindings.get(key)
+                if term is None:
+                    usable = False
+                    break
+                if isinstance(term, Variable) and term.name not in bound_variables:
+                    usable = False
+                    break
+            if usable:
+                return constraint
+        return None
+
+    def _lookup(
+        self,
+        table: Table,
+        atom: Atom,
+        binding: Mapping[str, object],
+        constraint: AccessConstraint,
+    ) -> list[dict[str, object]]:
+        wanted: dict[str, object] = {}
+        for key in constraint.key_attributes:
+            term = atom.bindings[key]
+            wanted[key] = (
+                binding[term.name] if isinstance(term, Variable) else term
+            )
+        matches = []
+        for record in table:
+            if all(record.raw(k) == v for k, v in wanted.items()):
+                matches.append(record)
+                self.accesses += 1
+                if self.accesses > self.budget:
+                    raise AccessBudgetExceeded(
+                        f"exceeded access budget of {self.budget} tuples"
+                    )
+                if len(matches) > constraint.bound:
+                    raise QueryError(
+                        f"access constraint {constraint} violated by the data: "
+                        f"lookup returned more than {constraint.bound} rows"
+                    )
+        extended = []
+        for record in matches:
+            candidate = dict(binding)
+            ok = True
+            for attribute, term in atom.bindings.items():
+                value = record.raw(attribute)
+                if isinstance(term, Variable):
+                    if term.name in candidate and candidate[term.name] != value:
+                        ok = False
+                        break
+                    candidate[term.name] = value
+                elif value != term:
+                    ok = False
+                    break
+            if ok:
+                extended.append(candidate)
+        return extended
+
+    def evaluate(
+        self, query: ConjunctiveQuery, relations: Mapping[str, Table]
+    ) -> list[dict[str, object]]:
+        """Answer ``query`` using only index accesses within the budget.
+
+        Atoms are ordered greedily so each has a usable access constraint
+        when it runs; a query with no such ordering is not boundedly
+        evaluable under the declared access schema and is rejected up
+        front (statically — before any data is read).
+        """
+        self.accesses = 0
+        remaining = list(query.atoms)
+        ordered: list[Atom] = []
+        bound: set[str] = set()
+        while remaining:
+            progressed = False
+            for atom in list(remaining):
+                if self._index_for(atom, bound) is not None:
+                    ordered.append(atom)
+                    remaining.remove(atom)
+                    bound |= atom.variables()
+                    progressed = True
+                    break
+            if not progressed:
+                raise QueryError(
+                    "query is not boundedly evaluable under the declared "
+                    f"access constraints (stuck at atoms {[a.relation for a in remaining]})"
+                )
+
+        bindings: list[dict[str, object]] = [{}]
+        bound = set()
+        for atom in ordered:
+            table = relations.get(atom.relation)
+            if table is None:
+                raise QueryError(f"unknown relation {atom.relation!r}")
+            constraint = self._index_for(atom, bound)
+            assert constraint is not None
+            next_bindings: list[dict[str, object]] = []
+            for binding in bindings:
+                next_bindings.extend(
+                    self._lookup(table, atom, binding, constraint)
+                )
+            bindings = next_bindings
+            bound |= atom.variables()
+            if not bindings:
+                break
+
+        seen: set[tuple[object, ...]] = set()
+        results = []
+        for binding in bindings:
+            row = {v: binding.get(v) for v in query.head}
+            key = tuple(str(row[v]) for v in query.head)
+            if key not in seen:
+                seen.add(key)
+                results.append(row)
+        return results

@@ -1,0 +1,119 @@
+"""Conjunctive queries over working-data tables.
+
+Section 4.3: "evaluating even standard queries of the sort used in
+mappings may require substantial changes to classical assumptions when
+faced with huge data sets".  This module supplies the classical part — a
+conjunctive query (select-project-join) evaluator over tables — on which
+the approximation and access-bounded evaluators build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import QueryError
+from repro.model.records import Table
+
+__all__ = ["Variable", "Atom", "ConjunctiveQuery"]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A query variable, compared by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+Term = Variable | object
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One relational atom: ``relation(attribute=term, ...)``."""
+
+    relation: str
+    bindings: Mapping[str, Term]
+
+    def variables(self) -> set[str]:
+        """Variable names used by this atom."""
+        return {
+            term.name
+            for term in self.bindings.values()
+            if isinstance(term, Variable)
+        }
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """``head(x, y) :- atom1, atom2, ...`` over named tables.
+
+    ``head`` lists the variables to project; every head variable must
+    occur in some atom (safety).
+    """
+
+    head: tuple[str, ...]
+    atoms: tuple[Atom, ...]
+    name: str = "q"
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise QueryError("a conjunctive query needs at least one atom")
+        body_variables = set().union(*(atom.variables() for atom in self.atoms))
+        unsafe = [v for v in self.head if v not in body_variables]
+        if unsafe:
+            raise QueryError(f"unsafe head variables: {unsafe}")
+
+    def evaluate(self, relations: Mapping[str, Table]) -> list[dict[str, object]]:
+        """All head-variable bindings satisfying the body.
+
+        Left-to-right nested evaluation with early pruning: each atom
+        either filters on already-bound variables or extends the binding.
+        Results are deduplicated (set semantics, as usual for CQs).
+        """
+        for atom in self.atoms:
+            if atom.relation not in relations:
+                raise QueryError(f"unknown relation {atom.relation!r}")
+
+        bindings: list[dict[str, object]] = [{}]
+        for atom in self.atoms:
+            table = relations[atom.relation]
+            extended: list[dict[str, object]] = []
+            for binding in bindings:
+                for record in table:
+                    candidate = dict(binding)
+                    ok = True
+                    for attribute, term in atom.bindings.items():
+                        value = record.raw(attribute)
+                        if isinstance(term, Variable):
+                            if term.name in candidate:
+                                if candidate[term.name] != value:
+                                    ok = False
+                                    break
+                            else:
+                                candidate[term.name] = value
+                        elif value != term:
+                            ok = False
+                            break
+                    if ok:
+                        extended.append(candidate)
+            bindings = extended
+            if not bindings:
+                break
+
+        seen: set[tuple[object, ...]] = set()
+        results = []
+        for binding in bindings:
+            row = {v: binding.get(v) for v in self.head}
+            key = tuple(str(row[v]) for v in self.head)
+            if key not in seen:
+                seen.add(key)
+                results.append(row)
+        return results
+
+    def count(self, relations: Mapping[str, Table]) -> int:
+        """The number of distinct answers."""
+        return len(self.evaluate(relations))

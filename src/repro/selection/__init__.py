@@ -1,0 +1,19 @@
+"""Budget-aware source selection ("less is more") and refresh scheduling."""
+
+from repro.selection.refresh import RefreshCandidate, expected_staleness, plan_refresh
+from repro.selection.source_selection import (
+    SelectionResult,
+    SelectionStep,
+    SourceProfile,
+    SourceSelector,
+)
+
+__all__ = [
+    "RefreshCandidate",
+    "SelectionResult",
+    "SelectionStep",
+    "SourceProfile",
+    "SourceSelector",
+    "expected_staleness",
+    "plan_refresh",
+]

@@ -1,0 +1,88 @@
+"""Refresh scheduling: which sources to re-access, and when (Velocity).
+
+Velocity is "the rate at which sources or their contents may change", and
+re-accessing a source costs money.  Between two runs, each source's
+snapshot decays at its change rate; the scheduler spends a refresh budget
+where it buys back the most expected freshness — the temporal twin of
+"Less is More" source selection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SourceError
+from repro.sources.registry import SourceRegistry
+
+__all__ = ["RefreshCandidate", "plan_refresh"]
+
+
+@dataclass(frozen=True)
+class RefreshCandidate:
+    """One source's refresh economics."""
+
+    name: str
+    staleness: float      # probability the snapshot is already outdated
+    cost: float           # access cost of a refresh
+    value: float          # expected freshness bought per unit cost
+
+    def describe(self) -> str:
+        """One readable line for logs."""
+        return (
+            f"{self.name}: staleness {self.staleness:.2f}, "
+            f"cost {self.cost:.1f}, value/cost {self.value:.3f}"
+        )
+
+
+def expected_staleness(change_rate: float, days_since_fetch: float) -> float:
+    """P(content changed since the snapshot), Poisson arrivals.
+
+    ``change_rate`` is in expected changes per day (the source metadata's
+    Velocity knob); staleness is ``1 - exp(-rate * days)``.
+    """
+    if change_rate < 0 or days_since_fetch < 0:
+        raise SourceError("change rate and age must be non-negative")
+    return 1.0 - math.exp(-change_rate * days_since_fetch)
+
+
+def plan_refresh(
+    registry: SourceRegistry,
+    days_since_fetch: dict[str, float],
+    budget: float,
+    min_staleness: float = 0.05,
+) -> list[RefreshCandidate]:
+    """Choose which sources to refresh under a budget.
+
+    Each candidate's value is ``staleness x reliability / cost`` —
+    refreshing a stale *trustworthy* source buys usable freshness, while a
+    stale junk source is not worth the access fee.  Greedy by value until
+    the budget runs out; sources fresher than ``min_staleness`` are never
+    refreshed (nothing to buy).
+    """
+    if budget < 0:
+        raise SourceError("refresh budget must be non-negative")
+    candidates = []
+    for name in registry.names():
+        source = registry.get(name)
+        age = days_since_fetch.get(name, 0.0)
+        staleness = expected_staleness(source.metadata.change_rate, age)
+        if staleness < min_staleness:
+            continue
+        reliability = registry.reliability(name).mean
+        cost = max(source.metadata.cost_per_access, 1e-9)
+        candidates.append(
+            RefreshCandidate(
+                name, staleness, source.metadata.cost_per_access,
+                staleness * reliability / cost,
+            )
+        )
+    candidates.sort(key=lambda c: -c.value)
+    chosen = []
+    remaining = budget
+    for candidate in candidates:
+        if candidate.cost > remaining:
+            continue
+        chosen.append(candidate)
+        remaining -= candidate.cost
+    return chosen

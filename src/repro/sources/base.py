@@ -1,0 +1,139 @@
+"""Data source abstractions: the left edge of the paper's Figure 1.
+
+Sources are "potentially heterogeneous ... files, databases, documents, web
+pages".  Two abstract shapes cover them all:
+
+* :class:`StructuredSource` — yields a :class:`~repro.model.records.Table`
+  directly (CSV, JSON, databases, APIs);
+* :class:`DocumentSource` — yields :class:`Document` objects (web pages)
+  that must pass through the extraction component first.
+
+Every source carries :class:`SourceMetadata` (access cost, change rate,
+declared domain) used by source selection, and an access counter so cost
+accounting is exact.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import SourceError
+from repro.model.records import Table
+
+__all__ = ["SourceMetadata", "Document", "DataSource", "StructuredSource", "DocumentSource"]
+
+
+@dataclass(frozen=True)
+class SourceMetadata:
+    """Static facts about a source, known before any access.
+
+    ``cost_per_access`` is in the same cost units as the user context's
+    budget; ``change_rate`` in expected content changes per day (the
+    Velocity knob); ``domain`` is a free-text hint matched against the
+    ontology for relevance scoring.
+    """
+
+    name: str
+    kind: str = "structured"
+    cost_per_access: float = 1.0
+    change_rate: float = 0.0
+    domain: str = ""
+    url: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SourceError("source name must be non-empty")
+        if self.cost_per_access < 0:
+            raise SourceError("cost_per_access must be non-negative")
+        if self.change_rate < 0:
+            raise SourceError("change_rate must be non-negative")
+
+
+@dataclass(frozen=True)
+class Document:
+    """One fetched document (web page) awaiting extraction."""
+
+    url: str
+    html: str
+    source: str
+
+
+#: A probe (sample fetch) costs this fraction of a full access.
+PROBE_COST_FRACTION = 0.2
+
+
+class DataSource(abc.ABC):
+    """Common behaviour of all sources: metadata plus access accounting."""
+
+    def __init__(self, metadata: SourceMetadata) -> None:
+        self.metadata = metadata
+        self._accesses = 0.0
+
+    @property
+    def name(self) -> str:
+        """The source's unique name."""
+        return self.metadata.name
+
+    @property
+    def accesses(self) -> float:
+        """Accumulated accesses (a probe counts fractionally)."""
+        return self._accesses
+
+    @property
+    def total_cost(self) -> float:
+        """Total access cost spent on this source so far."""
+        return self._accesses * self.metadata.cost_per_access
+
+    def _record_access(self, fraction: float = 1.0) -> None:
+        self._accesses += fraction
+
+
+class StructuredSource(DataSource):
+    """A source that yields relational data directly."""
+
+    @abc.abstractmethod
+    def _load(self) -> Table:
+        """Produce the source's current table (subclass hook)."""
+
+    def fetch(self) -> Table:
+        """Fetch the source's current contents, recording the access."""
+        self._record_access()
+        table = self._load()
+        if table.name != self.name:
+            table = Table(self.name, table.schema, list(table.records))
+        return table
+
+    def probe(self, limit: int = 25) -> Table:
+        """Fetch a cheap sample (``PROBE_COST_FRACTION`` of a full access).
+
+        Probes are how the planner learns what a source is worth *before*
+        committing budget to it — the "Less is More" bootstrap.
+        """
+        self._record_access(PROBE_COST_FRACTION)
+        table = self._load()
+        return Table(self.name, table.schema, list(table.records[:limit]))
+
+    def size_hint(self) -> int:
+        """The source's advertised record count (catalogs publish item
+        counts; no access cost is charged for reading the banner)."""
+        return len(self._load())
+
+
+class DocumentSource(DataSource):
+    """A source that yields documents requiring extraction."""
+
+    @abc.abstractmethod
+    def _load(self) -> Sequence[Document]:
+        """Produce the source's current documents (subclass hook)."""
+
+    def fetch(self) -> list[Document]:
+        """Fetch the source's current documents, recording the access."""
+        self._record_access()
+        return list(self._load())
+
+    def probe(self, limit: int = 2) -> list[Document]:
+        """Fetch a few pages cheaply (see :meth:`StructuredSource.probe`)."""
+        self._record_access(PROBE_COST_FRACTION)
+        return list(self._load())[:limit]

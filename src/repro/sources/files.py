@@ -1,0 +1,118 @@
+"""File-backed sources: CSV and JSON (the "files" of Figure 1)."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SourceError
+from repro.model.records import Table
+from repro.sources.base import SourceMetadata, StructuredSource
+
+__all__ = ["CSVSource", "JSONSource", "flatten_object"]
+
+
+class CSVSource(StructuredSource):
+    """A structured source reading a delimited text file on every fetch."""
+
+    def __init__(
+        self,
+        name: str,
+        path: str | Path,
+        delimiter: str = ",",
+        cost_per_access: float = 1.0,
+        change_rate: float = 0.0,
+        domain: str = "",
+    ) -> None:
+        super().__init__(
+            SourceMetadata(
+                name,
+                kind="csv",
+                cost_per_access=cost_per_access,
+                change_rate=change_rate,
+                domain=domain,
+                url=str(path),
+            )
+        )
+        self._path = Path(path)
+        self._delimiter = delimiter
+
+    def _load(self) -> Table:
+        if not self._path.exists():
+            raise SourceError(f"CSV file not found: {self._path}")
+        with self._path.open(newline="", encoding="utf-8") as handle:
+            reader = csv.DictReader(handle, delimiter=self._delimiter)
+            rows = [
+                {key: (value if value != "" else None) for key, value in row.items()}
+                for row in reader
+            ]
+        return Table.from_rows(self.name, rows, source=self.name)
+
+
+def flatten_object(obj: Any, prefix: str = "") -> dict[str, Any]:
+    """Flatten a nested JSON object into dotted-path keys.
+
+    Lists of scalars are joined with ``"; "``; lists of objects are indexed
+    (``items.0.price``).  This gives deep-web API payloads a relational
+    shape without losing information.
+    """
+    flat: dict[str, Any] = {}
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten_object(value, path))
+    elif isinstance(obj, list):
+        if all(not isinstance(item, (dict, list)) for item in obj):
+            flat[prefix] = "; ".join(str(item) for item in obj)
+        else:
+            for index, item in enumerate(obj):
+                flat.update(flatten_object(item, f"{prefix}.{index}"))
+    else:
+        flat[prefix or "value"] = obj
+    return flat
+
+
+class JSONSource(StructuredSource):
+    """A structured source reading a JSON file holding a list of objects."""
+
+    def __init__(
+        self,
+        name: str,
+        path: str | Path,
+        records_key: str | None = None,
+        cost_per_access: float = 1.0,
+        change_rate: float = 0.0,
+        domain: str = "",
+    ) -> None:
+        super().__init__(
+            SourceMetadata(
+                name,
+                kind="json",
+                cost_per_access=cost_per_access,
+                change_rate=change_rate,
+                domain=domain,
+                url=str(path),
+            )
+        )
+        self._path = Path(path)
+        self._records_key = records_key
+
+    def _load(self) -> Table:
+        if not self._path.exists():
+            raise SourceError(f"JSON file not found: {self._path}")
+        with self._path.open(encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if self._records_key is not None:
+            if not isinstance(payload, dict) or self._records_key not in payload:
+                raise SourceError(
+                    f"JSON file {self._path} has no key {self._records_key!r}"
+                )
+            payload = payload[self._records_key]
+        if not isinstance(payload, list):
+            raise SourceError(
+                f"JSON source {self.name!r} expects a list of objects"
+            )
+        rows = [flatten_object(item) for item in payload]
+        return Table.from_rows(self.name, rows, source=self.name)

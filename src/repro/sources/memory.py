@@ -1,0 +1,99 @@
+"""In-memory sources, used by tests, examples, and the synthetic worlds."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.model.records import Table
+from repro.sources.base import Document, DocumentSource, SourceMetadata, StructuredSource
+
+__all__ = ["MemorySource", "MemoryDocumentSource", "VolatileSource"]
+
+
+class MemorySource(StructuredSource):
+    """A structured source backed by rows held in memory."""
+
+    def __init__(
+        self,
+        name: str,
+        rows: Sequence[Mapping[str, Any]],
+        cost_per_access: float = 1.0,
+        change_rate: float = 0.0,
+        domain: str = "",
+    ) -> None:
+        super().__init__(
+            SourceMetadata(
+                name,
+                kind="memory",
+                cost_per_access=cost_per_access,
+                change_rate=change_rate,
+                domain=domain,
+            )
+        )
+        self._rows = [dict(row) for row in rows]
+
+    def _load(self) -> Table:
+        return Table.from_rows(self.name, self._rows, source=self.name)
+
+    def replace_rows(self, rows: Sequence[Mapping[str, Any]]) -> None:
+        """Swap the backing rows (models source-side updates / Velocity)."""
+        self._rows = [dict(row) for row in rows]
+
+
+class VolatileSource(StructuredSource):
+    """A structured source whose contents are produced by a callable on
+    every fetch — models high-Velocity sources whose content drifts."""
+
+    def __init__(
+        self,
+        name: str,
+        producer: Callable[[int], Sequence[Mapping[str, Any]]],
+        cost_per_access: float = 1.0,
+        change_rate: float = 10.0,
+        domain: str = "",
+    ) -> None:
+        super().__init__(
+            SourceMetadata(
+                name,
+                kind="volatile",
+                cost_per_access=cost_per_access,
+                change_rate=change_rate,
+                domain=domain,
+            )
+        )
+        self._producer = producer
+        self._fetch_index = 0
+
+    def _load(self) -> Table:
+        rows = self._producer(self._fetch_index)
+        self._fetch_index += 1
+        return Table.from_rows(self.name, [dict(r) for r in rows], source=self.name)
+
+
+class MemoryDocumentSource(DocumentSource):
+    """A document source backed by HTML strings held in memory."""
+
+    def __init__(
+        self,
+        name: str,
+        pages: Sequence[tuple[str, str]],
+        cost_per_access: float = 1.0,
+        change_rate: float = 0.0,
+        domain: str = "",
+    ) -> None:
+        super().__init__(
+            SourceMetadata(
+                name,
+                kind="web",
+                cost_per_access=cost_per_access,
+                change_rate=change_rate,
+                domain=domain,
+            )
+        )
+        self._pages = list(pages)
+
+    def _load(self) -> list[Document]:
+        return [
+            Document(url=url, html=html, source=self.name)
+            for url, html in self._pages
+        ]

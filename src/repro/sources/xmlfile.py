@@ -1,0 +1,89 @@
+"""XML feed sources — another face of Variety.
+
+Retailer product feeds are commonly XML (RSS-ish catalog exports); this
+source flattens a repeated record element into rows, with nested elements
+becoming dotted paths like the JSON source.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SourceError
+from repro.model.records import Table
+from repro.sources.base import SourceMetadata, StructuredSource
+
+__all__ = ["XMLSource"]
+
+
+def _flatten_element(element: ET.Element, prefix: str = "") -> dict[str, Any]:
+    row: dict[str, Any] = {}
+    for key, value in element.attrib.items():
+        row[f"{prefix}@{key}" if prefix else f"@{key}"] = value
+    children = list(element)
+    if not children:
+        text = (element.text or "").strip()
+        if prefix:
+            row[prefix] = text or None
+        return row
+    seen: dict[str, int] = {}
+    for child in children:
+        tag = child.tag
+        count = seen.get(tag, 0)
+        seen[tag] = count + 1
+        path = f"{prefix}.{tag}" if prefix else tag
+        if count:
+            path = f"{path}.{count}"
+        row.update(_flatten_element(child, path))
+    return row
+
+
+class XMLSource(StructuredSource):
+    """A structured source reading repeated elements from an XML file.
+
+    ``record_tag`` names the element that delimits one record; every
+    occurrence anywhere in the document becomes a row.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        path: str | Path,
+        record_tag: str,
+        cost_per_access: float = 1.0,
+        change_rate: float = 0.0,
+        domain: str = "",
+    ) -> None:
+        super().__init__(
+            SourceMetadata(
+                name,
+                kind="xml",
+                cost_per_access=cost_per_access,
+                change_rate=change_rate,
+                domain=domain,
+                url=str(path),
+            )
+        )
+        self._path = Path(path)
+        self._record_tag = record_tag
+
+    def _load(self) -> Table:
+        if not self._path.exists():
+            raise SourceError(f"XML file not found: {self._path}")
+        try:
+            tree = ET.parse(self._path)
+        except ET.ParseError as exc:
+            raise SourceError(
+                f"XML source {self.name!r} is not well-formed: {exc}"
+            ) from exc
+        rows = [
+            _flatten_element(element)
+            for element in tree.getroot().iter(self._record_tag)
+        ]
+        if not rows:
+            raise SourceError(
+                f"XML source {self.name!r} has no <{self._record_tag}> records"
+            )
+        return Table.from_rows(self.name, rows, source=self.name)

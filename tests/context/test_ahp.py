@@ -1,0 +1,106 @@
+"""Tests for the Analytic Hierarchy Process implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.context.ahp import AHPComparison, ahp_weights, consistency_ratio
+from repro.errors import ContextError
+
+CRITERIA = ["accuracy", "completeness", "timeliness"]
+
+
+class TestAHPComparison:
+    def test_identity_matrix_gives_equal_weights(self):
+        weights = AHPComparison(CRITERIA).weights()
+        for value in weights.values():
+            assert value == pytest.approx(1 / 3)
+
+    def test_prefer_sets_reciprocal(self):
+        comparison = AHPComparison(CRITERIA).prefer("accuracy", "timeliness", 4)
+        matrix = comparison.matrix
+        assert matrix[0, 2] == 4
+        assert matrix[2, 0] == pytest.approx(0.25)
+
+    def test_strong_preference_dominates(self):
+        comparison = (
+            AHPComparison(CRITERIA)
+            .prefer("accuracy", "completeness", 5)
+            .prefer("accuracy", "timeliness", 5)
+        )
+        weights = comparison.weights()
+        assert weights["accuracy"] > weights["completeness"]
+        assert weights["accuracy"] > weights["timeliness"]
+
+    def test_weights_sum_to_one(self):
+        comparison = (
+            AHPComparison(CRITERIA)
+            .prefer("accuracy", "completeness", 3)
+            .prefer("completeness", "timeliness", 2)
+        )
+        assert sum(comparison.weights().values()) == pytest.approx(1.0)
+
+    def test_consistent_judgments_pass(self):
+        comparison = (
+            AHPComparison(CRITERIA)
+            .prefer("accuracy", "completeness", 2)
+            .prefer("completeness", "timeliness", 2)
+            .prefer("accuracy", "timeliness", 4)
+        )
+        assert comparison.is_consistent()
+
+    def test_incoherent_judgments_flagged(self):
+        # a > b, b > c, but c >> a: a preference cycle
+        comparison = (
+            AHPComparison(CRITERIA)
+            .prefer("accuracy", "completeness", 9)
+            .prefer("completeness", "timeliness", 9)
+            .prefer("timeliness", "accuracy", 9)
+        )
+        assert not comparison.is_consistent()
+
+    def test_validation(self):
+        with pytest.raises(ContextError):
+            AHPComparison(["only-one"])
+        with pytest.raises(ContextError):
+            AHPComparison(["a", "a"])
+        comparison = AHPComparison(CRITERIA)
+        with pytest.raises(ContextError):
+            comparison.prefer("accuracy", "accuracy", 2)
+        with pytest.raises(ContextError):
+            comparison.prefer("accuracy", "completeness", 20)
+        with pytest.raises(ContextError):
+            comparison.prefer("accuracy", "mystery", 2)
+
+
+class TestAHPWeights:
+    def test_rejects_non_square(self):
+        with pytest.raises(ContextError):
+            ahp_weights(np.ones((2, 3)))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ContextError):
+            ahp_weights(np.array([[1.0, 0.0], [1.0, 1.0]]))
+
+    def test_two_criteria_exact(self):
+        matrix = np.array([[1.0, 3.0], [1 / 3, 1.0]])
+        weights = ahp_weights(matrix)
+        assert weights[0] == pytest.approx(0.75)
+        assert weights[1] == pytest.approx(0.25)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8))
+    def test_property_weights_normalised_and_ordered(self, a, b):
+        matrix = np.array(
+            [
+                [1.0, float(a), float(a * b)],
+                [1.0 / a, 1.0, float(b)],
+                [1.0 / (a * b), 1.0 / b, 1.0],
+            ]
+        )
+        weights = ahp_weights(matrix)
+        assert weights.sum() == pytest.approx(1.0)
+        assert weights[0] >= weights[1] - 1e-9
+        assert weights[1] >= weights[2] - 1e-9
+        # perfectly consistent by construction
+        assert consistency_ratio(matrix) == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,70 @@
+"""Tests for auto-discovered constraints in the pipeline."""
+
+import pytest
+
+from repro.context.data_context import DataContext
+from repro.context.user_context import UserContext
+from repro.core.wrangler import Wrangler
+from repro.model.schema import Attribute, DataType, Schema
+from repro.sources.memory import MemorySource
+
+SCHEMA = Schema(
+    (
+        Attribute("name", DataType.STRING, required=True),
+        Attribute("postcode", DataType.STRING),
+        Attribute("city", DataType.STRING),
+    )
+)
+
+
+def rows():
+    cities = {"OX1": "Oxford", "EH8": "Edinburgh", "M13": "Manchester"}
+    out = []
+    for index in range(45):
+        postcode = sorted(cities)[index % 3]
+        city = cities[postcode]
+        if index == 7:
+            city = "Oxfrod"  # one corrupted dependent value
+        out.append(
+            {"name": f"shop {index} unit {index}", "postcode": postcode,
+             "city": city}
+        )
+    return out
+
+
+def build(discover: bool):
+    from repro.model.annotations import Dimension
+
+    user = UserContext(
+        "u",
+        SCHEMA,
+        weights={Dimension.COMPLETENESS: 0.5, Dimension.CONSISTENCY: 0.3,
+                 Dimension.COST: 0.2},
+    )
+    wrangler = Wrangler(user, DataContext("p"),
+                        discover_constraints=discover)
+    wrangler.add_source(MemorySource("registry-feed", rows()))
+    return wrangler
+
+
+class TestConstraintDiscovery:
+    def test_discovered_fd_repairs_violation(self):
+        wrangler = build(discover=True)
+        result = wrangler.run()
+        assert result.repair is not None
+        assert result.repair.repairs
+        cities = {
+            record.raw("city")
+            for record in result.table
+            if record.raw("postcode") == "OX1"
+        }
+        assert cities == {"Oxford"}
+        mined = wrangler.working.get("report", "discovered-constraints")
+        assert any("postcode->city" in name for name in mined)
+
+    def test_discovery_off_leaves_violation(self):
+        wrangler = build(discover=False)
+        result = wrangler.run()
+        assert result.repair is None
+        all_cities = {record.raw("city") for record in result.table}
+        assert "Oxfrod" in all_cities

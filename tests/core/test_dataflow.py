@@ -1,0 +1,91 @@
+"""Tests for the incremental dataflow engine."""
+
+import pytest
+
+from repro.core.dataflow import Dataflow
+from repro.errors import DataflowError
+
+
+def build_diamond():
+    """a -> b, a -> c, (b, c) -> d, with run counters."""
+    flow = Dataflow()
+    flow.add_input("a", 1)
+    flow.add("b", lambda inputs: inputs["a"] + 1, ("a",))
+    flow.add("c", lambda inputs: inputs["a"] * 10, ("a",))
+    flow.add("d", lambda inputs: inputs["b"] + inputs["c"], ("b", "c"))
+    return flow
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        flow = Dataflow()
+        flow.add_input("a")
+        with pytest.raises(DataflowError):
+            flow.add_input("a")
+
+    def test_unknown_dependency_rejected(self):
+        flow = Dataflow()
+        with pytest.raises(DataflowError):
+            flow.add("b", lambda i: None, ("missing",))
+
+    def test_unknown_node_access(self):
+        with pytest.raises(DataflowError):
+            Dataflow().pull("ghost")
+
+
+class TestEvaluation:
+    def test_pull_computes_transitively(self):
+        flow = build_diamond()
+        assert flow.pull("d") == (1 + 1) + (1 * 10)
+
+    def test_memoisation(self):
+        flow = build_diamond()
+        flow.pull("d")
+        runs = flow.total_runs()
+        flow.pull("d")
+        flow.pull("b")
+        assert flow.total_runs() == runs
+
+    def test_set_input_recomputes_only_downstream(self):
+        flow = build_diamond()
+        flow.pull("d")
+        flow.set_input("a", 2)
+        assert not flow.is_clean("d")
+        assert flow.pull("d") == (2 + 1) + (2 * 10)
+        assert flow.runs("b") == 2
+        assert flow.runs("d") == 2
+
+    def test_invalidate_single_node_recomputes_cone_only(self):
+        flow = build_diamond()
+        flow.pull("d")
+        flow.invalidate("c")
+        flow.pull("d")
+        # b untouched, c and d recomputed
+        assert flow.runs("b") == 1
+        assert flow.runs("c") == 2
+        assert flow.runs("d") == 2
+
+    def test_pull_all_and_dirty_nodes(self):
+        flow = build_diamond()
+        assert set(flow.dirty_nodes()) == {"b", "c", "d"}
+        flow.pull_all()
+        assert flow.dirty_nodes() == []
+
+    def test_invalidate_all(self):
+        flow = build_diamond()
+        flow.pull_all()
+        flow.invalidate_all()
+        assert set(flow.dirty_nodes()) == {"b", "c", "d"}
+
+    def test_nodes_topological(self):
+        flow = build_diamond()
+        order = flow.nodes()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("c") < order.index("d")
+
+    def test_value_returns_stale_without_recompute(self):
+        flow = build_diamond()
+        flow.pull("d")
+        flow.set_input("a", 5)
+        assert flow.value("d") == 12  # stale
+        assert flow.pull("d") == 56

@@ -1,0 +1,115 @@
+"""Tests for feedback-driven ER retraining, including one-class rounds."""
+
+import pytest
+
+from repro.context.data_context import DataContext
+from repro.context.user_context import UserContext
+from repro.core.wrangler import Wrangler
+from repro.datagen.products import TARGET_SCHEMA
+from repro.feedback.types import DuplicateFeedback
+from repro.model.annotations import Dimension
+from repro.sources.memory import MemorySource
+
+
+def build(rows):
+    user = UserContext(
+        "u",
+        TARGET_SCHEMA,
+        weights={Dimension.COMPLETENESS: 0.5, Dimension.ACCURACY: 0.1,
+                 Dimension.COST: 0.4},
+    )
+    wrangler = Wrangler(user, DataContext("p"))
+    wrangler.add_source(MemorySource("s", rows))
+    return wrangler
+
+
+ROWS = [
+    # two true duplicates (typo variant)
+    {"product": "Acme Gadget Pro", "brand": "Acme", "category": "gadget",
+     "price": "$100.00", "updated": "2016-03-15"},
+    {"product": "Acme Gadet Pro", "brand": "Acme", "category": "gadget",
+     "price": "$101.00", "updated": "2016-03-15"},
+    # near-miss distinct products (same brand/category)
+    {"product": "Acme Gadget Max", "brand": "Acme", "category": "gadget",
+     "price": "$150.00", "updated": "2016-03-15"},
+    {"product": "Acme Gadget Ultra", "brand": "Acme", "category": "gadget",
+     "price": "$160.00", "updated": "2016-03-15"},
+    {"product": "Acme Widget Neo", "brand": "Acme", "category": "gadget",
+     "price": "$170.00", "updated": "2016-03-15"},
+]
+
+
+class TestOneClassRetraining:
+    def test_all_negative_judgments_raise_threshold(self):
+        wrangler = build(ROWS)
+        result = wrangler.run()
+        translated = wrangler.working.get("table", "translated")
+        rids = {r.raw("product"): r.rid for r in translated}
+        # users reject the near-miss merges (all negative verdicts)
+        items = [
+            DuplicateFeedback(rid_a=rids["Acme Gadget Max"],
+                              rid_b=rids["Acme Gadget Ultra"],
+                              is_duplicate=False),
+            DuplicateFeedback(rid_a=rids["Acme Gadget Max"],
+                              rid_b=rids["Acme Widget Neo"],
+                              is_duplicate=False),
+            DuplicateFeedback(rid_a=rids["Acme Gadget Ultra"],
+                              rid_b=rids["Acme Widget Neo"],
+                              is_duplicate=False),
+            DuplicateFeedback(rid_a=rids["Acme Gadget Pro"],
+                              rid_b=rids["Acme Gadget Max"],
+                              is_duplicate=False),
+        ]
+        wrangler.apply_feedback(items)
+        retrained = wrangler.run()
+        # the rejected pairs may no longer be merged
+        pair_set = retrained.resolution.pair_set()
+        for item in items:
+            assert tuple(sorted((item.rid_a, item.rid_b))) not in pair_set
+
+    def test_all_positive_judgments_lower_threshold(self):
+        wrangler = build(ROWS)
+        user_strict = UserContext.precision_first("strict", TARGET_SCHEMA)
+        wrangler.user = user_strict  # force a very strict bootstrap
+        result = wrangler.run()
+        translated = wrangler.working.get("table", "translated")
+        rids = {r.raw("product"): r.rid for r in translated}
+        pair = tuple(sorted((rids["Acme Gadget Pro"], rids["Acme Gadet Pro"])))
+        if pair in result.resolution.pair_set():
+            pytest.skip("bootstrap already merges the typo pair")
+        items = [
+            DuplicateFeedback(rid_a=pair[0], rid_b=pair[1], is_duplicate=True)
+            for __ in range(4)
+        ]
+        wrangler.apply_feedback(items)
+        retrained = wrangler.run()
+        assert pair in retrained.resolution.pair_set()
+
+    def test_mixed_judgments_fit_separating_threshold(self):
+        wrangler = build(ROWS)
+        wrangler.run()
+        translated = wrangler.working.get("table", "translated")
+        rids = {r.raw("product"): r.rid for r in translated}
+        items = [
+            DuplicateFeedback(rid_a=rids["Acme Gadget Pro"],
+                              rid_b=rids["Acme Gadet Pro"],
+                              is_duplicate=True),
+            DuplicateFeedback(rid_a=rids["Acme Gadget Max"],
+                              rid_b=rids["Acme Gadget Ultra"],
+                              is_duplicate=False),
+            DuplicateFeedback(rid_a=rids["Acme Gadget Max"],
+                              rid_b=rids["Acme Widget Neo"],
+                              is_duplicate=False),
+            DuplicateFeedback(rid_a=rids["Acme Gadget Ultra"],
+                              rid_b=rids["Acme Widget Neo"],
+                              is_duplicate=False),
+        ]
+        wrangler.apply_feedback(items)
+        retrained = wrangler.run()
+        pairs = retrained.resolution.pair_set()
+        true_pair = tuple(sorted((rids["Acme Gadget Pro"],
+                                  rids["Acme Gadet Pro"])))
+        false_pair = tuple(sorted((rids["Acme Gadget Max"],
+                                   rids["Acme Gadget Ultra"])))
+        assert true_pair in pairs
+        assert false_pair not in pairs

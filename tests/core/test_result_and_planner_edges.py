@@ -1,0 +1,111 @@
+"""Edge-case tests for results, planner rationale, and dataflow wiring."""
+
+import datetime
+
+import pytest
+
+from repro.context.data_context import DataContext
+from repro.context.user_context import UserContext
+from repro.core.planner import AutonomicPlanner
+from repro.core.wrangler import Wrangler
+from repro.datagen.ontologies import product_ontology
+from repro.datagen.products import TARGET_SCHEMA, generate_world
+from repro.model.annotations import AnnotationStore, Dimension
+from repro.quality.constraints import FunctionalDependency
+from repro.sources.memory import MemorySource
+from repro.sources.registry import SourceRegistry
+
+TODAY = datetime.date(2016, 3, 15)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(n_products=15, n_sources=2, seed=4242)
+
+
+def make_wrangler(world, **kwargs):
+    user = kwargs.pop(
+        "user", UserContext.precision_first("u", TARGET_SCHEMA)
+    )
+    wrangler = Wrangler(user, DataContext("p").with_ontology(
+        product_ontology()), today=TODAY, **kwargs)
+    for name, rows in world.source_rows.items():
+        wrangler.add_source(MemorySource(name, rows))
+    return wrangler
+
+
+class TestResultEdges:
+    def test_why_unknown_entity(self, world):
+        result = make_wrangler(world).run()
+        with pytest.raises(KeyError):
+            result.why("no-such-entity", "price")
+
+    def test_explain_mentions_repair_when_cells_changed(self, world):
+        fd = FunctionalDependency(("brand",), "category")
+        wrangler = make_wrangler(world, constraints=[fd])
+        result = wrangler.run()
+        text = result.explain()
+        if result.repair is not None and result.repair.repairs:
+            assert "constraint repair" in text
+        assert "cost:" in text
+
+    def test_total_cost_sums_components(self, world):
+        result = make_wrangler(world).run()
+        assert result.total_cost == pytest.approx(
+            result.access_cost + result.feedback_cost
+        )
+
+
+class TestPlannerEdges:
+    def test_unlimited_budget_accuracy_lean_still_selects(self):
+        registry = SourceRegistry()
+        registry.register(MemorySource("only", [{"product": "x",
+                                                 "price": "$1"}]))
+        user = UserContext.precision_first("p", TARGET_SCHEMA)
+        plan = AutonomicPlanner().plan(
+            user, DataContext("d"), registry, AnnotationStore()
+        )
+        assert plan.sources == ["only"]
+
+    def test_rationale_always_nonempty(self):
+        registry = SourceRegistry()
+        registry.register(MemorySource("s", [{"product": "x"}]))
+        for maker in (UserContext.precision_first,
+                      UserContext.completeness_first):
+            user = maker("u", TARGET_SCHEMA)
+            plan = AutonomicPlanner().plan(
+                user, DataContext("d"), registry, AnnotationStore()
+            )
+            assert len(plan.rationale) >= 4
+            assert plan.explain().count("\n") >= 3
+
+    def test_consistency_indifferent_context_skips_repair(self):
+        registry = SourceRegistry()
+        registry.register(MemorySource("s", [{"product": "x"}]))
+        user = UserContext(
+            "u", TARGET_SCHEMA,
+            weights={Dimension.COMPLETENESS: 0.8, Dimension.COST: 0.2},
+        )
+        plan = AutonomicPlanner().plan(
+            user, DataContext("d"), registry, AnnotationStore()
+        )
+        assert plan.run_repair is False
+
+
+class TestDataflowWiring:
+    def test_adding_source_rebuilds_flow(self, world):
+        wrangler = make_wrangler(world)
+        wrangler.run()
+        nodes_before = len(wrangler.flow.nodes())
+        wrangler.add_source(MemorySource("late", [
+            {"product": "Late Widget", "brand": "Late", "category": "w",
+             "price": "$5.00", "updated": "2016-03-15"}
+        ]))
+        wrangler.run()
+        assert len(wrangler.flow.nodes()) == nodes_before + 5
+
+    def test_annotate_examples_on_fresh_wrangler_is_safe(self, world):
+        wrangler = make_wrangler(world)
+        # no flow exists yet; must not raise
+        wrangler.annotate_examples("nonexistent", [])
+        wrangler.run()

@@ -1,0 +1,79 @@
+"""Tests for the job-postings world."""
+
+import datetime
+
+import pytest
+
+from repro.datagen.jobs import (
+    JOB_SCHEMA,
+    generate_job_world,
+    job_ontology,
+)
+from repro.model.schema import DataType
+
+
+class TestJobWorld:
+    def test_deterministic(self):
+        a = generate_job_world(n_jobs=20, seed=5)
+        b = generate_job_world(n_jobs=20, seed=5)
+        assert a.board_rows == b.board_rows
+
+    def test_every_posting_links_to_truth(self):
+        world = generate_job_world(n_jobs=30, seed=6)
+        truth_ids = {record.raw("job_id") for record in world.ground_truth}
+        for rows in world.board_rows.values():
+            for row in rows:
+                assert row["_truth"] in truth_ids
+
+    def test_boards_use_own_schemas(self):
+        world = generate_job_world(n_jobs=10, seed=7)
+        first_board = next(iter(world.board_rows.values()))
+        keys = set(first_board[0])
+        assert "position" in keys and "pay" in keys
+        assert "title" not in keys  # boards rename everything
+
+    def test_salary_formats_vary_by_board(self):
+        world = generate_job_world(n_jobs=25, n_boards=3, seed=8)
+        formats = set()
+        for rows in world.board_rows.values():
+            sample = str(rows[0]["pay"])
+            formats.add("k" in sample.lower())
+        assert len(formats) == 2  # both k-style and full-form present
+
+    def test_expired_postings_exist(self):
+        world = generate_job_world(n_jobs=40, seed=9, expired_rate=0.5)
+        today = world.today
+        stale = 0
+        for rows in world.board_rows.values():
+            for row in rows:
+                posted = datetime.date.fromisoformat(str(row["listed"]))
+                if (today - posted).days > 40:
+                    stale += 1
+        assert stale > 10
+
+    def test_schema_requirements(self):
+        assert JOB_SCHEMA["title"].required
+        assert JOB_SCHEMA["company"].required
+        assert JOB_SCHEMA["city"].required
+        assert JOB_SCHEMA["salary"].dtype is DataType.CURRENCY
+
+
+class TestJobOntology:
+    def test_board_vocabulary_resolves(self):
+        onto = job_ontology()
+        assert onto.property_of("position") == "title"
+        assert onto.property_of("employer") == "company"
+        assert onto.property_of("pay") == "salary"
+        assert onto.property_of("listed") == "posted"
+        assert onto.property_of("link") == "url"
+
+
+class TestKiloCurrency:
+    def test_k_suffix_parses(self):
+        from repro.model.schema import coerce
+        assert coerce("£65k", DataType.CURRENCY) == pytest.approx(65000.0)
+        assert coerce("$5K", DataType.CURRENCY) == pytest.approx(5000.0)
+
+    def test_k_without_symbol_not_currency(self):
+        from repro.model.schema import infer_type
+        assert infer_type("65k") is not DataType.CURRENCY

@@ -1,0 +1,186 @@
+"""Tests for the synthetic world generators."""
+
+import random
+
+import pytest
+
+from repro.datagen.corrupt import jitter_geo, maybe, misspell, perturb_price
+from repro.datagen.htmlgen import annotations_for, random_listings, render_site
+from repro.datagen.locations import generate_location_world
+from repro.datagen.ontologies import location_ontology, product_ontology
+from repro.datagen.products import (
+    TARGET_SCHEMA,
+    TRUTH_COLUMN,
+    SourceSpec,
+    generate_world,
+)
+
+
+class TestCorrupt:
+    def test_misspell_changes_text(self):
+        rng = random.Random(0)
+        changed = sum(
+            1 for __ in range(50) if misspell("television", rng) != "television"
+        )
+        assert changed > 30
+
+    def test_misspell_short_text_unchanged(self):
+        assert misspell("ab", random.Random(0)) == "ab"
+
+    def test_perturb_price_positive(self):
+        rng = random.Random(0)
+        for __ in range(100):
+            assert perturb_price(100.0, rng) > 0
+
+    def test_jitter_geo_bounded(self):
+        rng = random.Random(0)
+        lat, lon = jitter_geo(51.0, -1.0, rng, magnitude=0.1)
+        assert abs(lat - 51.0) <= 0.1
+        assert abs(lon + 1.0) <= 0.1
+
+    def test_maybe_extremes(self):
+        rng = random.Random(0)
+        assert not maybe(rng, 0.0)
+        assert maybe(rng, 1.0)
+
+
+class TestProductWorld:
+    def test_deterministic_per_seed(self):
+        a = generate_world(n_products=20, n_sources=3, seed=9)
+        b = generate_world(n_products=20, n_sources=3, seed=9)
+        assert a.source_rows == b.source_rows
+        assert a.ground_truth.to_rows() == b.ground_truth.to_rows()
+
+    def test_seeds_differ(self):
+        a = generate_world(n_products=20, n_sources=3, seed=1)
+        b = generate_world(n_products=20, n_sources=3, seed=2)
+        assert a.source_rows != b.source_rows
+
+    def test_every_row_has_truth_link(self):
+        world = generate_world(n_products=30, n_sources=4, seed=3)
+        truth_ids = {r.raw("product_id") for r in world.ground_truth}
+        for rows in world.source_rows.values():
+            for row in rows:
+                assert row[TRUTH_COLUMN] in truth_ids
+
+    def test_schema_variants_rename_attributes(self):
+        specs = [
+            SourceSpec("canonical", schema_variant=0, coverage=1.0),
+            SourceSpec("marketplace", schema_variant=1, coverage=1.0),
+        ]
+        world = generate_world(n_products=10, n_sources=2, seed=4, specs=specs)
+        canonical_keys = set(world.source_rows["canonical"][0])
+        market_keys = set(world.source_rows["marketplace"][0])
+        assert "price" in canonical_keys
+        assert "offer_price" in market_keys
+        assert "price" not in market_keys
+
+    def test_coverage_controls_size(self):
+        specs = [
+            SourceSpec("full", coverage=1.0),
+            SourceSpec("half", coverage=0.5),
+        ]
+        world = generate_world(n_products=200, n_sources=2, seed=5, specs=specs)
+        assert len(world.source_rows["full"]) == 200
+        assert 60 < len(world.source_rows["half"]) < 140
+
+    def test_error_rate_corrupts_prices(self):
+        clean_spec = [SourceSpec("clean", coverage=1.0, error_rate=0.0,
+                                 staleness=0.0, missing_rate=0.0)]
+        dirty_spec = [SourceSpec("dirty", coverage=1.0, error_rate=0.9,
+                                 staleness=0.0, missing_rate=0.0)]
+        clean = generate_world(n_products=100, seed=6, specs=clean_spec)
+        dirty = generate_world(n_products=100, seed=6, specs=dirty_spec)
+
+        def wrong_prices(world, name):
+            from repro.extraction.patterns import recogniser
+            truth = world.truth_by_id()
+            wrong = 0
+            for row in world.source_rows[name]:
+                true_price = float(truth[row[TRUTH_COLUMN]]["price"])
+                got = recogniser("price").find(str(row["price"]))
+                if got is None or abs(got - true_price) > 0.01:
+                    wrong += 1
+            return wrong
+
+        assert wrong_prices(clean, "clean") == 0
+        assert wrong_prices(dirty, "dirty") > 50
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SourceSpec("x", coverage=1.5)
+
+    def test_true_price(self):
+        world = generate_world(n_products=5, n_sources=1, seed=7)
+        pid = world.ground_truth[0].raw("product_id")
+        assert world.true_price(pid) == world.ground_truth[0].raw("price")
+
+    def test_target_schema_excludes_truth_column(self):
+        assert TRUTH_COLUMN not in TARGET_SCHEMA
+
+
+class TestLocationWorld:
+    def test_families_generated(self):
+        world = generate_location_world(n_businesses=40, seed=8)
+        assert len(world.ground_truth) == 40
+        assert world.checkin_rows and world.directory_rows and world.website_rows
+
+    def test_fantasy_places_have_no_truth(self):
+        world = generate_location_world(n_businesses=50, seed=9,
+                                        checkin_fantasy_rate=0.2)
+        fantasies = [r for r in world.checkin_rows if r["_truth"] is None]
+        assert len(fantasies) == 10
+
+    def test_checkin_geo_noise(self):
+        world = generate_location_world(n_businesses=60, seed=10,
+                                        checkin_geo_error=0.5)
+        truth = world.truth_by_id()
+        displaced = 0
+        for row in world.checkin_rows:
+            if row["_truth"] is None:
+                continue
+            t_lat, t_lon = (
+                float(x) for x in str(truth[row["_truth"]]["geo"]).split(",")
+            )
+            lat, lon = (float(x) for x in str(row["coords"]).split(","))
+            if abs(lat - t_lat) > 0.05 or abs(lon - t_lon) > 0.05:
+                displaced += 1
+        assert displaced > 10
+
+
+class TestHtmlGen:
+    def test_pagination(self):
+        listings = random_listings(45, random.Random(11))
+        site = render_site("shop", listings, page_size=20)
+        assert len(site.pages) == 3
+
+    def test_unknown_template(self):
+        with pytest.raises(ValueError):
+            render_site("shop", [], template="hologram")
+
+    def test_annotations_reference_real_pages(self):
+        listings = random_listings(30, random.Random(12))
+        site = render_site("shop", listings, page_size=10)
+        annotations = annotations_for(site, count=5)
+        page_urls = {url for url, __ in site.pages}
+        for annotation in annotations:
+            assert annotation.url in page_urls
+            assert annotation.fields["product"] in listings[0]["product"] or True
+
+    def test_listing_text_appears_on_page(self):
+        listings = random_listings(5, random.Random(13))
+        site = render_site("shop", listings, template="grid")
+        assert listings[0]["product"] in site.pages[0][1]
+
+
+class TestOntologies:
+    def test_product_ontology_answers_matching_queries(self):
+        onto = product_ontology()
+        assert onto.property_of("offer_price") == "price"
+        assert onto.property_of("manufacturer") == "brand"
+        assert onto.is_a("Television", "Product")
+
+    def test_location_ontology(self):
+        onto = location_ontology()
+        assert onto.property_of("coords") == "geo"
+        assert onto.is_a("Cafe", "LocalBusiness")

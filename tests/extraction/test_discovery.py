@@ -1,0 +1,71 @@
+"""Tests for embedded-field discovery during wrapper repair."""
+
+import random
+
+import pytest
+
+from repro.context.data_context import DataContext
+from repro.datagen.htmlgen import random_listings, render_site
+from repro.datagen.ontologies import product_ontology
+from repro.extraction.induction import auto_induce
+from repro.extraction.repair import WrapperRepairer
+from repro.extraction.wrapper import FieldRule, Wrapper
+from repro.model.schema import DataType
+
+
+@pytest.fixture()
+def context():
+    return DataContext("p").with_ontology(product_ontology())
+
+
+class TestFieldDiscovery:
+    def test_messy_auto_wrapper_gains_price_and_date(self, context):
+        site = render_site(
+            "messy", random_listings(20, random.Random(7)), "messy"
+        )
+        wrapper = auto_induce(site.documents())
+        assert "price" not in wrapper.schema().names
+        repaired, table, report = WrapperRepairer(context).repair(
+            wrapper, site.documents()
+        )
+        discovered = {a.attribute for a in report.actions if a.kind == "discover"}
+        assert "price" in discovered
+        assert "date" in discovered
+        prices = [r.raw("price") for r in table if r.raw("price") is not None]
+        assert len(prices) == 20
+        assert all(isinstance(p, float) for p in prices)
+
+    def test_no_discovery_when_field_already_extracted(self, context):
+        site = render_site(
+            "grid", random_listings(15, random.Random(8)), "grid"
+        )
+        wrapper = Wrapper(
+            "grid",
+            ("div.product",),
+            (
+                FieldRule("product", ("h2.title",)),
+                FieldRule("price", ("span.price",), recogniser_name="price",
+                          dtype=DataType.CURRENCY),
+            ),
+        )
+        __, __, report = WrapperRepairer(context).repair(
+            wrapper, site.documents()
+        )
+        assert not any(
+            a.kind == "discover" and a.attribute == "price"
+            for a in report.actions
+        )
+
+    def test_rare_embedded_values_not_promoted(self, context):
+        # Only 1 of 10 descriptions carries a price: below the hit-rate bar.
+        listings = random_listings(10, random.Random(9))
+        for listing in listings:
+            listing["product"] = "plain product name"
+        listings[0]["product"] = "name with $9.99 inside"
+        site = render_site("g", listings, "grid")
+        wrapper = Wrapper("g", ("div.product",),
+                          (FieldRule("product", ("h2.title",)),))
+        __, __, report = WrapperRepairer(context).repair(
+            wrapper, site.documents()
+        )
+        assert not any(a.kind == "discover" for a in report.actions)

@@ -1,0 +1,93 @@
+"""Tests for the field recognisers."""
+
+import pytest
+
+from repro.extraction.patterns import (
+    RECOGNISERS,
+    best_recogniser,
+    recognise,
+    recogniser,
+)
+from repro.model.schema import DataType
+
+
+class TestPrice:
+    def test_symbol_prefix(self):
+        assert recogniser("price").find("only $1,299.99 today") == pytest.approx(1299.99)
+
+    def test_symbol_suffix(self):
+        assert recogniser("price").find("499.00 EUR") == pytest.approx(499.0)
+
+    def test_embedded_in_blob(self):
+        value = recogniser("price").find("Acme TV 900 — now only £219.50 (in stock)")
+        assert value == pytest.approx(219.5)
+
+    def test_no_price(self):
+        assert recogniser("price").find("no numbers here") is None
+
+    def test_full_match(self):
+        assert recogniser("price").matches_fully(" $25.00 ")
+        assert not recogniser("price").matches_fully("$25.00 in stock")
+
+
+class TestOthers:
+    def test_date(self):
+        assert recogniser("date").find("updated 2016-03-15 ok") == "2016-03-15"
+        assert recogniser("date").find("Mar 15, 2016") == "Mar 15, 2016"
+
+    def test_phone_normalised(self):
+        assert recogniser("phone").find("+44 1865 273838") == "+441865273838"
+
+    def test_uk_postcode(self):
+        assert recogniser("uk_postcode").find("Oxford OX1 3QD, UK") == "OX1 3QD"
+
+    def test_email(self):
+        assert recogniser("email").find("mail Tim.Furche@cs.ox.ac.uk now") == "tim.furche@cs.ox.ac.uk"
+
+    def test_url(self):
+        assert recogniser("url").find("see https://a.b/c?d=1 please") == "https://a.b/c?d=1"
+
+    def test_rating(self):
+        assert recogniser("rating").find("rated 4.5/5 by users") == pytest.approx(4.5)
+        assert recogniser("rating").find("3 stars") == pytest.approx(3.0)
+
+    def test_geo(self):
+        assert recogniser("geo").find("at 51.7520, -1.2577 today") == (51.752, -1.2577)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            recogniser("nope")
+
+    def test_empty_text(self):
+        for rec in RECOGNISERS:
+            assert rec.find("") is None
+            assert not rec.matches_fully("")
+
+
+class TestRecognise:
+    def test_multiple_fields_in_blob(self):
+        found = recognise("Call +44 1865 273838, £25.00, https://x.y")
+        assert found["price"] == pytest.approx(25.0)
+        assert "url" in found and "phone" in found
+
+    def test_span(self):
+        span = recogniser("price").find_span("abc $5.00 def")
+        assert span == (4, 9)
+
+
+class TestBestRecogniser:
+    def test_prices(self):
+        rec = best_recogniser(["$10.00", "£20.50", "30.00 USD"])
+        assert rec is not None and rec.name == "price"
+        assert rec.dtype is DataType.CURRENCY
+
+    def test_majority_needed(self):
+        assert best_recogniser(["$10.00", "hello", "world"]) is None
+
+    def test_empty_values(self):
+        assert best_recogniser([]) is None
+        assert best_recogniser(["", "  "]) is None
+
+    def test_urls(self):
+        rec = best_recogniser(["https://a.b/1", "https://a.b/2"])
+        assert rec is not None and rec.name == "url"

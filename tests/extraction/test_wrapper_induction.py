@@ -1,0 +1,152 @@
+"""Tests for wrappers, wrapper induction, and automatic induction."""
+
+import random
+
+import pytest
+
+from repro.datagen.htmlgen import annotations_for, random_listings, render_site
+from repro.errors import ExtractionError
+from repro.extraction.induction import ExampleAnnotation, auto_induce, induce_wrapper
+from repro.extraction.wrapper import FieldRule, Wrapper
+from repro.model.schema import DataType
+from repro.sources.base import Document
+
+
+@pytest.fixture(scope="module")
+def listings():
+    return random_listings(30, random.Random(1))
+
+
+@pytest.fixture(scope="module")
+def grid_site(listings):
+    return render_site("gridshop", listings, template="grid", page_size=10)
+
+
+@pytest.fixture(scope="module")
+def table_site(listings):
+    return render_site("tableshop", listings, template="table", page_size=10)
+
+
+@pytest.fixture(scope="module")
+def messy_site(listings):
+    return render_site("messyshop", listings, template="messy", page_size=10)
+
+
+def normalise(text):
+    return " ".join(str(text).split()).lower()
+
+
+class TestManualWrapper:
+    def test_extract_grid(self, grid_site, listings):
+        wrapper = Wrapper(
+            "gridshop",
+            ("div.product",),
+            (
+                FieldRule("product", ("h2.title",)),
+                FieldRule("price", ("span.price",), recogniser_name="price",
+                          dtype=DataType.CURRENCY),
+                FieldRule("url", ("a.link",), attr_source="href",
+                          dtype=DataType.URL),
+            ),
+        )
+        table = wrapper.extract(grid_site.documents())
+        assert len(table) == 30
+        assert table[0].raw("product") == listings[0]["product"]
+        assert isinstance(table[0].raw("price"), float)
+        assert table[0].raw("url") == listings[0]["url"]
+
+    def test_extraction_provenance(self, grid_site):
+        wrapper = Wrapper(
+            "gridshop", ("div.product",), (FieldRule("product", ("h2.title",)),)
+        )
+        table = wrapper.extract(grid_site.documents())
+        prov = table[0]["product"].provenance
+        assert prov.sources() == {"gridshop"}
+        assert prov.step.value == "extraction"
+
+    def test_with_rule_replaces(self):
+        wrapper = Wrapper("s", ("li",), (FieldRule("a", ("span",)),))
+        updated = wrapper.with_rule(FieldRule("a", ("b",)))
+        assert updated.rule_for("a").rel_path == ("b",)
+        assert len(updated.rules) == 1
+
+    def test_schema(self):
+        wrapper = Wrapper(
+            "s", ("li",),
+            (FieldRule("p", ("span",), dtype=DataType.CURRENCY),),
+        )
+        assert wrapper.schema()["p"].dtype is DataType.CURRENCY
+
+
+class TestInduction:
+    def test_grid_induction_recovers_records(self, grid_site, listings):
+        annotations = annotations_for(grid_site, count=3)
+        wrapper = induce_wrapper(grid_site.documents(), annotations)
+        assert wrapper.confidence > 0.8
+        table = wrapper.extract(grid_site.documents())
+        assert len(table) == 30
+        got = {normalise(r.raw("product")) for r in table}
+        want = {normalise(l["product"]) for l in listings}
+        assert len(got & want) >= 28
+
+    def test_table_template_positional_rules(self, table_site, listings):
+        annotations = annotations_for(table_site, count=4)
+        wrapper = induce_wrapper(table_site.documents(), annotations)
+        table = wrapper.extract(table_site.documents())
+        assert len(table) == 30
+        # product and updated both live in bare <td> cells: index matters
+        products = {normalise(r.raw("product")) for r in table}
+        assert normalise(listings[5]["product"]) in products
+
+    def test_messy_template_attaches_recogniser(self, messy_site):
+        annotations = annotations_for(messy_site, count=3)
+        wrapper = induce_wrapper(messy_site.documents(), annotations)
+        price_rule = wrapper.rule_for("price")
+        assert price_rule is not None
+        assert price_rule.recogniser_name == "price"
+        table = wrapper.extract(messy_site.documents())
+        prices = [r.raw("price") for r in table if r.raw("price") is not None]
+        assert len(prices) >= 25
+        assert all(isinstance(p, float) for p in prices)
+
+    def test_no_examples_raises(self, grid_site):
+        with pytest.raises(ExtractionError):
+            induce_wrapper(grid_site.documents(), [])
+
+    def test_unknown_url_raises(self, grid_site):
+        with pytest.raises(ExtractionError):
+            induce_wrapper(
+                grid_site.documents(),
+                [ExampleAnnotation("https://nowhere/x", {"product": "x"})],
+            )
+
+    def test_unfindable_values_raise(self, grid_site):
+        url = grid_site.pages[0][0]
+        with pytest.raises(ExtractionError):
+            induce_wrapper(
+                grid_site.documents(),
+                [ExampleAnnotation(url, {"product": "zzz not on page zzz"})],
+            )
+
+
+class TestAutoInduction:
+    def test_auto_induce_grid(self, grid_site):
+        wrapper = auto_induce(grid_site.documents())
+        assert wrapper.confidence > 0.7
+        table = wrapper.extract(grid_site.documents())
+        assert len(table) == 30
+        # a price-typed field must have been discovered automatically
+        assert "price" in wrapper.schema().names
+
+    def test_auto_induce_needs_repetition(self):
+        doc = Document(
+            url="https://x/1",
+            html="<html><body><div class='a'>only one</div></body></html>",
+            source="x",
+        )
+        with pytest.raises(ExtractionError):
+            auto_induce([doc])
+
+    def test_auto_induce_no_documents(self):
+        with pytest.raises(ExtractionError):
+            auto_induce([])

@@ -1,0 +1,108 @@
+"""Tests for active feedback acquisition."""
+
+from repro.feedback.active import (
+    Question,
+    suggest_pair_questions,
+    suggest_questions,
+    suggest_source_questions,
+    suggest_value_questions,
+)
+from repro.model.records import Record, Table
+from repro.model.schema import Schema
+from repro.model.values import Value
+from repro.resolution.comparison import FieldComparator, RecordComparator
+from repro.resolution.er import EntityResolver
+from repro.resolution.rules import ThresholdRule
+from repro.sources.memory import MemorySource
+from repro.sources.registry import SourceRegistry
+
+
+def wrangled_table():
+    schema = Schema.of("product", "price")
+    table = Table("wrangled", schema)
+    table.append(Record.of({
+        "product": Value.of("certain", confidence=1.0),
+        "price": Value.of(10.0, confidence=0.99),
+    }, rid="e-sure"))
+    table.append(Record.of({
+        "product": Value.of("contested", confidence=0.9),
+        "price": Value.of(20.0, confidence=0.51),
+    }, rid="e-contested"))
+    table.append(Record.of({
+        "product": Value.of("partial", confidence=0.7),
+        "price": None,
+    }, rid="e-partial"))
+    return table
+
+
+class TestValueQuestions:
+    def test_most_uncertain_cell_first(self):
+        questions = suggest_value_questions(wrangled_table())
+        assert questions[0].target == ("e-contested", "price")
+
+    def test_certain_cells_excluded(self):
+        questions = suggest_value_questions(wrangled_table())
+        targets = {q.target for q in questions}
+        assert ("e-sure", "product") not in targets
+
+    def test_missing_cells_skipped(self):
+        questions = suggest_value_questions(wrangled_table())
+        assert ("e-partial", "price") not in {q.target for q in questions}
+
+    def test_limit(self):
+        assert len(suggest_value_questions(wrangled_table(), limit=1)) == 1
+
+
+class TestSourceQuestions:
+    def test_unobserved_source_ranks_above_well_known(self):
+        registry = SourceRegistry()
+        registry.register(MemorySource("mystery", [{"x": 1}]))
+        registry.register(MemorySource("familiar", [{"x": 1}]))
+        for __ in range(40):
+            registry.observe("familiar", True)
+        questions = suggest_source_questions(registry)
+        assert questions[0].target == ("mystery",)
+        assert questions[0].expected_value > questions[-1].expected_value
+
+
+class TestPairQuestions:
+    def test_borderline_pairs_surface(self):
+        rows = [
+            {"name": "alpha beta gamma"},
+            {"name": "alpha beta gamm"},    # borderline near many thresholds
+            {"name": "totally different"},
+        ]
+        table = Table.from_rows("t", rows)
+        comparator = RecordComparator((FieldComparator("name", "tokens"),))
+        resolver = EntityResolver(comparator=comparator, rule=ThresholdRule(0.9))
+        resolution = resolver.resolve(table)
+        questions = suggest_pair_questions(
+            table, resolution, comparator, threshold=0.9, band=0.2
+        )
+        assert questions
+        top_pair = questions[0].target
+        rids = {r.rid for r in table.records[:2]}
+        assert set(top_pair) == rids
+
+    def test_clear_pairs_not_asked(self):
+        rows = [{"name": "one thing"}, {"name": "something else entirely"}]
+        table = Table.from_rows("t", rows)
+        comparator = RecordComparator((FieldComparator("name", "tokens"),))
+        resolver = EntityResolver(comparator=comparator, rule=ThresholdRule(0.9))
+        resolution = resolver.resolve(table)
+        assert suggest_pair_questions(
+            table, resolution, comparator, threshold=0.9, band=0.05
+        ) == []
+
+
+class TestCombined:
+    def test_combined_ranked_and_limited(self):
+        registry = SourceRegistry()
+        registry.register(MemorySource("s", [{"x": 1}]))
+        questions = suggest_questions(wrangled_table(), registry, limit=4)
+        assert len(questions) <= 4
+        values = [q.expected_value for q in questions]
+        assert values == sorted(values, reverse=True)
+        kinds = {q.kind for q in questions}
+        assert "value" in kinds and "source" in kinds
+        assert all(isinstance(q, Question) for q in questions)

@@ -1,0 +1,103 @@
+"""Tests for the knowledge base and KB construction."""
+
+import pytest
+
+from repro.context.data_context import DataContext
+from repro.datagen.ontologies import product_ontology
+from repro.kb.construction import KBConstructor
+from repro.kb.kb import Fact, KnowledgeBase
+from repro.model.records import Table
+from repro.model.values import Value
+
+
+class TestKnowledgeBase:
+    def test_fact_validation(self):
+        with pytest.raises(ValueError):
+            Fact("e", "p", "v", 1.5)
+
+    def test_assert_and_query(self):
+        kb = KnowledgeBase()
+        kb.assert_fact(Fact("tv-1", "price", 399.0, 0.8))
+        kb.assert_fact(Fact("tv-1", "brand", "Acme", 0.9))
+        assert len(kb) == 2
+        assert kb.entities() == ["tv-1"]
+        assert kb.best("tv-1", "price").value == 399.0
+        assert kb.best("tv-1", "colour") is None
+
+    def test_repeated_assertion_noisy_or(self):
+        kb = KnowledgeBase()
+        kb.assert_fact(Fact("e", "p", "v", 0.6))
+        stored = kb.assert_fact(Fact("e", "p", "v", 0.5))
+        assert stored.confidence == pytest.approx(0.8)
+
+    def test_competing_values_ranked(self):
+        kb = KnowledgeBase()
+        kb.assert_fact(Fact("e", "price", 399.0, 0.9))
+        kb.assert_fact(Fact("e", "price", 39.0, 0.3))
+        candidates = kb.candidates("e", "price")
+        assert [fact.value for fact in candidates] == [399.0, 39.0]
+        assert kb.best("e", "price").value == 399.0
+
+    def test_confidence_slice(self):
+        kb = KnowledgeBase()
+        kb.assert_fact(Fact("e", "a", 1, 0.9))
+        kb.assert_fact(Fact("e", "b", 2, 0.3))
+        published = kb.at_confidence(0.7)
+        assert len(published) == 1
+        assert published[0].property == "a"
+
+    def test_summary(self):
+        kb = KnowledgeBase()
+        kb.assert_fact(Fact("e1", "a", 1, 0.5))
+        kb.assert_fact(Fact("e2", "a", 1, 0.7))
+        summary = kb.summary()
+        assert summary["entities"] == 2
+        assert summary["facts"] == 2
+        assert summary["mean_confidence"] == pytest.approx(0.6)
+
+
+class TestKBConstructor:
+    def test_ingest_table(self):
+        table = Table.from_rows(
+            "wrangled",
+            [
+                {"product": "Acme TV", "price": 399.0, "_truth": "P1"},
+                {"product": "Globex Radio", "price": 25.0, "_truth": "P2"},
+            ],
+        )
+        kb = KBConstructor().ingest(table)
+        assert kb.summary()["entities"] == 2
+        assert kb.summary()["facts"] == 4  # _truth excluded
+
+    def test_entity_attribute_used_as_id(self):
+        table = Table.from_rows("t", [{"sku": "S1", "price": 10.0}])
+        kb = KBConstructor(entity_attribute="sku").ingest(table)
+        assert kb.entities() == ["S1"]
+
+    def test_context_plausibility_shapes_confidence(self):
+        context = DataContext("p").with_ontology(product_ontology())
+        table = Table("t", Table.from_rows("t", [{}]).schema)
+        from repro.model.records import Record
+        from repro.model.schema import Schema
+        schema = Schema.of("price")
+        table = Table("t", schema)
+        table.append(Record.of({"price": Value.of("$19.99", confidence=0.8)}))
+        table.append(Record.of({"price": Value.of("not a price", confidence=0.8)}))
+        kb = KBConstructor(context).ingest(table)
+        facts = sorted(kb, key=lambda f: -f.confidence)
+        assert facts[0].value == "$19.99"
+        assert facts[0].confidence > 0.8
+        assert facts[1].confidence < 0.5
+
+    def test_min_confidence_filters(self):
+        table = Table.from_rows("t", [{"a": "x"}])
+        table.records[0] = table.records[0].with_cell(
+            "a", Value.of("x", confidence=0.2)
+        )
+        kb = KBConstructor(min_confidence=0.5).ingest(table)
+        assert len(kb) == 0
+
+    def test_missing_cells_skipped(self):
+        table = Table.from_rows("t", [{"a": "x", "b": None}])
+        kb = KBConstructor().ingest(table)
+        assert kb.summary()["facts"] == 1

@@ -1,0 +1,56 @@
+"""Tests for provenance trees."""
+
+from repro.model.provenance import Provenance, Step
+
+
+def chain():
+    leaf = Provenance.source("amazon")
+    extracted = leaf.derive(Step.EXTRACTION, "wrapper-7")
+    mapped = extracted.derive(Step.MAPPING, "m3")
+    return leaf, extracted, mapped
+
+
+class TestProvenance:
+    def test_source_leaf(self):
+        leaf = Provenance.source("ebay")
+        assert leaf.step is Step.SOURCE
+        assert leaf.sources() == {"ebay"}
+        assert leaf.depth() == 1
+
+    def test_derive_extends_depth(self):
+        __, __, mapped = chain()
+        assert mapped.depth() == 3
+        assert mapped.sources() == {"amazon"}
+
+    def test_combine_unions_sources(self):
+        a = Provenance.source("a").derive(Step.MAPPING, "m1")
+        b = Provenance.source("b").derive(Step.MAPPING, "m2")
+        fused = Provenance.combine(Step.FUSION, "vote", (a, b))
+        assert fused.sources() == {"a", "b"}
+        assert fused.depth() == 3
+
+    def test_walk_visits_all_nodes(self):
+        __, __, mapped = chain()
+        assert len(list(mapped.walk())) == 3
+
+    def test_steps_order(self):
+        __, __, mapped = chain()
+        assert mapped.steps()[0] is Step.MAPPING
+        assert Step.SOURCE in mapped.steps()
+
+    def test_hashable_and_shared(self):
+        leaf = Provenance.source("x")
+        a = leaf.derive(Step.REPAIR, "r")
+        b = leaf.derive(Step.REPAIR, "r")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_why_is_readable(self):
+        __, __, mapped = chain()
+        text = mapped.why()
+        assert "mapping: m3" in text
+        assert "source: amazon" in text
+        assert text.splitlines()[0].startswith("mapping")
+
+    def test_generated_leaf_has_no_sources(self):
+        assert Provenance.generated().sources() == frozenset()

@@ -1,0 +1,101 @@
+"""Tests for FD discovery."""
+
+import random
+
+import pytest
+
+from repro.model.records import Table
+from repro.quality.discovery import discover_fds
+from repro.quality.repair import repair_table
+
+
+def address_rows(n=60, dirty=0, seed=1):
+    rng = random.Random(seed)
+    cities = {"OX": "Oxford", "EH": "Edinburgh", "M": "Manchester"}
+    rows = []
+    for index in range(n):
+        prefix = sorted(cities)[index % 3]
+        city = cities[prefix]
+        if dirty and index < dirty:
+            city = rng.choice([c for c in cities.values() if c != city])
+        rows.append(
+            {
+                "postcode": f"{prefix}{index % 9 + 1}",
+                "city": city,
+                "resident": f"person-{index}",  # near-key
+                "_truth": index,
+            }
+        )
+    return rows
+
+
+class TestDiscoverFDs:
+    def test_finds_exact_fd(self):
+        table = Table.from_rows("t", address_rows())
+        discovered = discover_fds(table, max_lhs=1)
+        fds = {d.fd.name for d in discovered}
+        assert "postcode->city" in fds
+        best = next(d for d in discovered if d.fd.name == "postcode->city")
+        assert best.is_exact
+        assert best.support == 60
+
+    def test_near_keys_excluded_from_lhs(self):
+        table = Table.from_rows("t", address_rows())
+        discovered = discover_fds(table)
+        assert all(
+            "resident" not in d.fd.lhs for d in discovered
+        )
+
+    def test_truth_column_ignored(self):
+        table = Table.from_rows("t", address_rows())
+        discovered = discover_fds(table)
+        assert all(
+            "_truth" not in d.fd.lhs and d.fd.rhs != "_truth"
+            for d in discovered
+        )
+
+    def test_approximate_fd_found_in_dirty_data(self):
+        table = Table.from_rows("t", address_rows(n=60, dirty=2))
+        exact_only = discover_fds(table, max_error=0.0)
+        approximate = discover_fds(table, max_error=0.05)
+        assert all(d.fd.name != "postcode->city" for d in exact_only)
+        hit = next(
+            (d for d in approximate if d.fd.name == "postcode->city"), None
+        )
+        assert hit is not None
+        assert 0.0 < hit.error <= 0.05
+
+    def test_min_support(self):
+        table = Table.from_rows("t", address_rows(n=4))
+        assert discover_fds(table, min_support=5) == []
+
+    def test_empty_and_tiny_tables(self):
+        assert discover_fds(Table.from_rows("t", [])) == []
+        assert discover_fds(Table.from_rows("t", [{"a": 1}])) == []
+
+    def test_two_attribute_lhs(self):
+        rows = []
+        for a in "xy":
+            for b in "pq":
+                for i in range(5):
+                    rows.append({"a": a, "b": b, "c": f"{a}{b}", "i": i % 3})
+        table = Table.from_rows("t", rows)
+        discovered = discover_fds(table, max_lhs=2)
+        assert any(d.fd.lhs == ("a", "b") and d.fd.rhs == "c" for d in discovered)
+
+    def test_redundant_superset_pruned(self):
+        table = Table.from_rows("t", address_rows())
+        discovered = discover_fds(table, max_lhs=2)
+        # postcode->city is exact, so (postcode, X)->city must be pruned
+        assert not any(
+            len(d.fd.lhs) == 2 and "postcode" in d.fd.lhs and d.fd.rhs == "city"
+            for d in discovered
+        )
+
+    def test_discovered_fds_drive_repair(self):
+        table = Table.from_rows("t", address_rows(n=60, dirty=2))
+        discovered = discover_fds(table, max_error=0.05)
+        constraints = [d.fd for d in discovered if d.fd.rhs == "city"]
+        result = repair_table(table, constraints)
+        assert result.is_consistent
+        assert len(result.repairs) >= 2

@@ -1,0 +1,103 @@
+"""Tests for refresh scheduling and feedback-budget planning."""
+
+import pytest
+
+from repro.errors import SourceError
+from repro.feedback.active import Question, plan_spend
+from repro.selection.refresh import expected_staleness, plan_refresh
+from repro.sources.memory import MemorySource
+from repro.sources.registry import SourceRegistry
+
+
+class TestExpectedStaleness:
+    def test_zero_rate_never_stale(self):
+        assert expected_staleness(0.0, 100.0) == 0.0
+
+    def test_grows_with_age(self):
+        young = expected_staleness(0.5, 1.0)
+        old = expected_staleness(0.5, 10.0)
+        assert 0 < young < old < 1.0
+
+    def test_validation(self):
+        with pytest.raises(SourceError):
+            expected_staleness(-1, 1)
+        with pytest.raises(SourceError):
+            expected_staleness(1, -1)
+
+
+class TestPlanRefresh:
+    @pytest.fixture
+    def registry(self):
+        registry = SourceRegistry()
+        registry.register(MemorySource("volatile", [{"x": 1}],
+                                       cost_per_access=1.0, change_rate=2.0))
+        registry.register(MemorySource("slow", [{"x": 1}],
+                                       cost_per_access=1.0, change_rate=0.01))
+        registry.register(MemorySource("pricy-volatile", [{"x": 1}],
+                                       cost_per_access=10.0, change_rate=2.0))
+        return registry
+
+    def test_stale_cheap_source_first(self, registry):
+        ages = {"volatile": 3.0, "slow": 3.0, "pricy-volatile": 3.0}
+        plan = plan_refresh(registry, ages, budget=1.0)
+        assert [c.name for c in plan] == ["volatile"]
+
+    def test_fresh_sources_skipped(self, registry):
+        ages = {"volatile": 0.0, "slow": 0.0, "pricy-volatile": 0.0}
+        assert plan_refresh(registry, ages, budget=100.0) == []
+
+    def test_budget_respected(self, registry):
+        ages = {"volatile": 5.0, "slow": 200.0, "pricy-volatile": 5.0}
+        plan = plan_refresh(registry, ages, budget=2.0)
+        assert sum(c.cost for c in plan) <= 2.0
+
+    def test_unreliable_sources_devalued(self, registry):
+        for __ in range(20):
+            registry.observe("volatile", False)
+        ages = {"volatile": 3.0, "slow": 300.0, "pricy-volatile": 3.0}
+        plan = plan_refresh(registry, ages, budget=1.0)
+        # the distrusted volatile source loses to the old-but-trusted one
+        assert plan[0].name == "slow"
+
+    def test_negative_budget(self, registry):
+        with pytest.raises(SourceError):
+            plan_refresh(registry, {}, budget=-1)
+
+    def test_describe(self, registry):
+        plan = plan_refresh(registry, {"volatile": 5.0}, budget=10.0)
+        assert "staleness" in plan[0].describe()
+
+
+class TestPlanSpend:
+    QUESTIONS = [
+        Question("value", ("e1", "price"), 0.9, ""),
+        Question("value", ("e2", "price"), 0.5, ""),
+        Question("duplicate", ("r1", "r2"), 0.6, ""),
+        Question("source", ("s1",), 0.8, ""),
+    ]
+
+    def test_value_per_cost_ordering(self):
+        chosen = plan_spend(self.QUESTIONS, budget=0.5,
+                            costs={"value": 1.0, "duplicate": 0.5,
+                                   "source": 2.0})
+        # only the cheap duplicate question fits; it also has the best
+        # EV/cost (0.6/0.5 = 1.2 vs 0.9/1.0)
+        assert [q.kind for q in chosen] == ["duplicate"]
+
+    def test_budget_exhausts_in_ev_order(self):
+        chosen = plan_spend(self.QUESTIONS, budget=2.0,
+                            costs={"value": 1.0, "duplicate": 0.5,
+                                   "source": 2.0})
+        kinds = [q.kind for q in chosen]
+        assert kinds[0] == "duplicate"  # best ratio
+        assert "source" not in kinds    # 2.0 would blow the remainder
+        assert sum(
+            {"value": 1.0, "duplicate": 0.5, "source": 2.0}[k] for k in kinds
+        ) <= 2.0
+
+    def test_empty_budget(self):
+        assert plan_spend(self.QUESTIONS, budget=0.0) == []
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            plan_spend(self.QUESTIONS, budget=-1.0)

@@ -1,0 +1,123 @@
+"""Tests for the ground-truth evaluation helpers."""
+
+import pytest
+
+from repro.datagen.products import SourceSpec, generate_world
+from repro.evaluation import (
+    PairMetrics,
+    coverage,
+    pair_metrics,
+    price_accuracy,
+    truth_labels,
+    wrangle_scorecard,
+)
+from repro.model.records import Record, Table
+from repro.model.schema import Schema
+from repro.resolution.er import EntityCluster, ResolutionResult
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(
+        n_products=10,
+        seed=55,
+        specs=[SourceSpec("s", coverage=1.0, error_rate=0.0,
+                          staleness=0.0, missing_rate=0.0)],
+    )
+
+
+def record(rid, truth, price=None, **fields):
+    payload = {"_truth": truth, **fields}
+    if price is not None:
+        payload["price"] = price
+    return Record.of(payload, rid=rid)
+
+
+class TestPairMetrics:
+    def test_perfect_clustering(self):
+        a, b, c = (record(f"r{i}", t) for i, t in enumerate(["P1", "P1", "P2"]))
+        resolution = ResolutionResult(
+            [EntityCluster("e1", [a, b]), EntityCluster("e2", [c])]
+        )
+        metrics = pair_metrics(resolution, {"r0": "P1", "r1": "P1", "r2": "P2"})
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.f1 == 1.0
+
+    def test_overmerge_hurts_precision(self):
+        a, b = record("r0", "P1"), record("r1", "P2")
+        resolution = ResolutionResult([EntityCluster("e1", [a, b])])
+        metrics = pair_metrics(resolution, {"r0": "P1", "r1": "P2"})
+        assert metrics.precision == 0.0
+        assert metrics.recall == 1.0
+        assert metrics.f1 == 0.0
+
+    def test_undermerge_hurts_recall(self):
+        a, b = record("r0", "P1"), record("r1", "P1")
+        resolution = ResolutionResult(
+            [EntityCluster("e1", [a]), EntityCluster("e2", [b])]
+        )
+        metrics = pair_metrics(resolution, {"r0": "P1", "r1": "P1"})
+        assert metrics.recall == 0.0
+
+    def test_spurious_records_never_match(self):
+        a, b = record("r0", None), record("r1", None)
+        resolution = ResolutionResult([EntityCluster("e1", [a, b])])
+        metrics = pair_metrics(resolution, {"r0": None, "r1": None})
+        assert metrics.precision == 0.0
+
+    def test_empty_f1(self):
+        assert PairMetrics(0.0, 0.0).f1 == 0.0
+
+
+class TestScorecard:
+    def test_perfect_output(self, world):
+        rows = []
+        for truth_row in world.ground_truth:
+            rows.append(
+                {
+                    "_truth": truth_row.raw("product_id"),
+                    "product": truth_row.raw("product"),
+                    "price": truth_row.raw("price"),
+                }
+            )
+        table = Table.from_rows("wrangled", rows)
+        card = wrangle_scorecard(table, world)
+        assert card["coverage"] == 1.0
+        assert card["price_accuracy"] == 1.0
+
+    def test_price_accuracy_tolerance(self, world):
+        truth_row = world.ground_truth[0]
+        price = float(truth_row.raw("price"))
+        table = Table.from_rows(
+            "w",
+            [{"_truth": truth_row.raw("product_id"), "price": price * 1.005}],
+        )
+        assert price_accuracy(table, world, tolerance=0.01) == 1.0
+        assert price_accuracy(table, world, tolerance=0.001) == 0.0
+
+    def test_price_accuracy_parses_strings(self, world):
+        truth_row = world.ground_truth[0]
+        table = Table.from_rows(
+            "w",
+            [{"_truth": truth_row.raw("product_id"),
+              "price": f"${float(truth_row.raw('price')):,.2f}"}],
+        )
+        assert price_accuracy(table, world) == 1.0
+
+    def test_empty_output_scores_zero_accuracy(self, world):
+        table = Table("w", Schema.of("price"))
+        assert price_accuracy(table, world) == 0.0
+        assert coverage(table, world) == 0.0
+
+    def test_coverage_counts_distinct_truths(self, world):
+        pid = world.ground_truth[0].raw("product_id")
+        table = Table.from_rows(
+            "w", [{"_truth": pid, "price": 1.0}, {"_truth": pid, "price": 2.0}]
+        )
+        assert coverage(table, world) == pytest.approx(0.1)
+
+    def test_truth_labels(self):
+        table = Table.from_rows("t", [{"_truth": "P1", "x": 1}])
+        labels = truth_labels(table)
+        assert list(labels.values()) == ["P1"]

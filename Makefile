@@ -1,0 +1,17 @@
+# Local entry points mirroring what CI runs (see .github/workflows/ci.yml).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test lint lint-json check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m repro.analysis.lint src/repro
+
+lint-json:
+	$(PYTHON) -m repro.analysis.lint src/repro --format json
+
+check: test lint

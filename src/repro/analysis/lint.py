@@ -1,0 +1,235 @@
+"""The framework linter engine and CLI: ``python -m repro.analysis.lint``.
+
+Discovers Python files, runs every registered rule from
+:mod:`repro.analysis.rules`, honours ``# repro: noqa[RULE]`` line
+suppressions, and renders text or JSON via the shared reporters.
+
+Exit-code contract (what CI keys off):
+
+* ``0`` — no error-severity findings (warnings/infos may be present);
+* ``1`` — at least one error-severity finding survived suppression;
+* ``2`` — the linter itself was misused (unknown path, unknown rule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, has_errors, sort_diagnostics
+from repro.analysis.report import render
+from repro.analysis.rules import RULES, ModuleContext, run_rules
+from repro.errors import AnalysisError
+
+__all__ = ["LintResult", "lint_source", "lint_paths", "main"]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Findings plus the bookkeeping reporters need."""
+
+    diagnostics: tuple[Diagnostic, ...]
+    checked_files: int
+    suppressed: int
+
+    @property
+    def ok(self) -> bool:
+        """Whether the tree passes (no error-severity findings)."""
+        return not has_errors(self.diagnostics)
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI exit code this result maps to."""
+        return 0 if self.ok else 1
+
+
+def _suppressions(source: str) -> dict[int, set[str] | None]:
+    """Per-line suppressions: line -> rule ids, or ``None`` for all rules."""
+    table: dict[int, set[str] | None] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[number] = None
+        else:
+            table[number] = {
+                token.strip().upper()
+                for token in rules.split(",")
+                if token.strip()
+            }
+    return table
+
+
+def _apply_suppressions(
+    diagnostics: Iterable[Diagnostic], source: str
+) -> tuple[list[Diagnostic], int]:
+    table = _suppressions(source)
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for diagnostic in diagnostics:
+        rules = table.get(diagnostic.location.line, "absent")
+        if rules == "absent":
+            kept.append(diagnostic)
+        elif rules is None or diagnostic.rule in rules:
+            suppressed += 1
+        else:
+            kept.append(diagnostic)
+    return kept, suppressed
+
+
+def _module_identity(path: Path) -> tuple[str, str, bool]:
+    """Dotted module name, architectural layer, and CLI-ness of a file."""
+    parts = list(path.parts)
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = ".".join(parts[index:])[: -len(".py")]
+    else:
+        dotted = path.stem
+    segments = dotted.split(".")
+    if segments[0] == "repro":
+        if len(segments) == 1 or segments[1] == "__init__":
+            layer = "repro"
+        else:
+            layer = segments[1]
+    else:
+        layer = segments[0]
+    if layer.endswith(".py"):
+        layer = layer[:-3]
+    is_main = path.stem == "__main__"
+    if is_main:
+        layer = "__main__"
+    return dotted, layer, is_main
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: str | None = None,
+    layer: str | None = None,
+    select: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint one module given as a string (the unit-test entry point)."""
+    pseudo = Path(path)
+    dotted, derived_layer, is_main = _module_identity(pseudo)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as failure:
+        raise AnalysisError(f"cannot parse {path}: {failure}") from failure
+    context = ModuleContext(
+        path=path,
+        module=module or dotted,
+        layer=layer if layer is not None else derived_layer,
+        tree=tree,
+        source=source,
+        is_main=is_main,
+    )
+    findings = run_rules(context, select=select)
+    kept, suppressed = _apply_suppressions(findings, source)
+    return LintResult(tuple(sort_diagnostics(kept)), 1, suppressed)
+
+
+def _discover(paths: Sequence[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise AnalysisError(f"no such file or directory: {raw}")
+    return files
+
+
+def lint_paths(
+    paths: Sequence[str], select: Iterable[str] | None = None
+) -> LintResult:
+    """Lint every ``.py`` file under the given paths."""
+    if select is not None:
+        unknown = set(select) - set(RULES)
+        if unknown:
+            raise AnalysisError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(RULES))})"
+            )
+    diagnostics: list[Diagnostic] = []
+    suppressed = 0
+    files = _discover(paths)
+    for file in files:
+        result = lint_source(
+            file.read_text(encoding="utf-8"), path=str(file), select=select
+        )
+        diagnostics.extend(result.diagnostics)
+        suppressed += result.suppressed
+    return LintResult(
+        tuple(sort_diagnostics(diagnostics)), len(files), suppressed
+    )
+
+
+def _rule_catalogue() -> str:
+    lines = []
+    for rule_id in sorted(RULES):
+        registered = RULES[rule_id]
+        lines.append(
+            f"{rule_id}  {registered.name:<26} {registered.severity.value:<8}"
+            f" {registered.description}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="repro framework linter (stdlib ast, no dependencies)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        sys.stdout.write(_rule_catalogue() + "\n")
+        return 0
+    select = (
+        [token.strip().upper() for token in args.select.split(",") if token.strip()]
+        if args.select
+        else None
+    )
+    try:
+        result = lint_paths(args.paths, select=select)
+    except AnalysisError as failure:
+        sys.stderr.write(f"error: {failure}\n")
+        return 2
+    report = render(
+        result.diagnostics, args.format, checked_files=result.checked_files
+    )
+    sys.stdout.write(report + "\n")
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

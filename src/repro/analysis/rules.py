@@ -1,0 +1,600 @@
+"""The framework lint rules: AST checks for repro's own invariants.
+
+Each rule inspects one module's AST (stdlib :mod:`ast` only — the linter
+adds no runtime dependencies) and yields
+:class:`~repro.analysis.diagnostics.Diagnostic` findings.  Rules register
+themselves in :data:`RULES` via the :func:`rule` decorator; the engine in
+:mod:`repro.analysis.lint` handles file discovery, ``# repro: noqa``
+suppression, reporting, and exit codes.
+
+The invariants are the framework's, not generic style: confidences are
+probabilities, the model/quality layers are deterministic, provenance-
+carrying return values must not be dropped, and imports must respect the
+layer order of the architecture (Figure 1 flows left to right; code must
+not flow back).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+
+__all__ = ["LintRule", "ModuleContext", "RULES", "rule", "run_rules"]
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule may inspect about one module."""
+
+    path: str  # display path, e.g. "src/repro/core/wrangler.py"
+    module: str  # dotted name, e.g. "repro.core.wrangler"
+    layer: str  # architectural layer, e.g. "core" or "errors"
+    tree: ast.Module
+    source: str
+    is_main: bool  # a ``__main__.py`` CLI module
+
+    def diagnostic(
+        self,
+        rule_id: str,
+        severity: Severity,
+        node: ast.AST,
+        message: str,
+        fix_hint: str = "",
+    ) -> Diagnostic:
+        """A diagnostic anchored at ``node``'s source position."""
+        return Diagnostic(
+            rule_id,
+            severity,
+            Location(
+                self.path,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0) + 1,
+            ),
+            message,
+            fix_hint,
+        )
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered framework invariant."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    description: str
+    check: Callable[[ModuleContext], Iterable[Diagnostic]]
+
+
+RULES: dict[str, LintRule] = {}
+
+
+def rule(
+    rule_id: str, name: str, severity: Severity, description: str
+) -> Callable:
+    """Register a check function as a lint rule."""
+
+    def decorate(check: Callable[[ModuleContext], Iterable[Diagnostic]]):
+        if rule_id in RULES:
+            raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        RULES[rule_id] = LintRule(rule_id, name, severity, description, check)
+        return check
+
+    return decorate
+
+
+def run_rules(
+    context: ModuleContext, select: Iterable[str] | None = None
+) -> list[Diagnostic]:
+    """All findings of the selected rules (default: every rule) on one module."""
+    chosen = set(select) if select is not None else set(RULES)
+    findings: list[Diagnostic] = []
+    for rule_id in sorted(chosen):
+        registered = RULES.get(rule_id)
+        if registered is None:
+            continue
+        findings.extend(registered.check(context))
+    return findings
+
+
+# -- helpers --------------------------------------------------------------
+
+
+def _walk_with_type_checking(tree: ast.Module) -> Iterator[tuple[ast.AST, bool]]:
+    """Yield ``(node, guarded)`` where guarded means inside TYPE_CHECKING."""
+
+    def is_type_checking(test: ast.AST) -> bool:
+        return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+        )
+
+    def visit(node: ast.AST, guarded: bool) -> Iterator[tuple[ast.AST, bool]]:
+        yield node, guarded
+        if isinstance(node, ast.If) and is_type_checking(node.test):
+            for child in node.body:
+                yield from visit(child, True)
+            for child in node.orelse:
+                yield from visit(child, guarded)
+            return
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, guarded)
+
+    yield from visit(tree, False)
+
+
+def _call_name(func: ast.AST) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _numeric_literal(node: ast.AST) -> float | None:
+    """The value of a numeric literal expression, unary minus included."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, (int, float))
+        and not isinstance(node.operand.value, bool)
+    ):
+        sign = -1.0 if isinstance(node.op, ast.USub) else 1.0
+        return sign * float(node.operand.value)
+    return None
+
+
+# -- REP001 ---------------------------------------------------------------
+
+
+@rule(
+    "REP001",
+    "no-bare-assert",
+    Severity.ERROR,
+    "Library code must not rely on `assert` for runtime invariants: "
+    "asserts vanish under `python -O`, silently disabling the check.",
+)
+def _check_no_bare_assert(context: ModuleContext) -> Iterator[Diagnostic]:
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Assert):
+            yield context.diagnostic(
+                "REP001",
+                Severity.ERROR,
+                node,
+                "bare `assert` in library code is stripped under -O",
+                "raise a repro error type (WranglingError subclass) instead",
+            )
+
+
+# -- REP002 ---------------------------------------------------------------
+
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def _broad_handler_name(handler: ast.ExceptHandler) -> str | None:
+    if handler.type is None:
+        return "bare except"
+    candidates = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for candidate in candidates:
+        name = _call_name(candidate) or (
+            candidate.id if isinstance(candidate, ast.Name) else None
+        )
+        if name in _BROAD_EXCEPTIONS:
+            return name
+    return None
+
+
+@rule(
+    "REP002",
+    "no-broad-except",
+    Severity.ERROR,
+    "Handlers must catch precise repro error types; `except Exception` "
+    "swallows programming errors along with expected failures.",
+)
+def _check_no_broad_except(context: ModuleContext) -> Iterator[Diagnostic]:
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.ExceptHandler):
+            broad = _broad_handler_name(node)
+            if broad is not None:
+                yield context.diagnostic(
+                    "REP002",
+                    Severity.ERROR,
+                    node,
+                    f"over-broad exception handler ({broad})",
+                    "catch the precise WranglingError subclass",
+                )
+
+
+# -- REP003 ---------------------------------------------------------------
+
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "Counter"}
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return _call_name(node.func) in _MUTABLE_CALLS
+    return False
+
+
+@rule(
+    "REP003",
+    "no-mutable-default",
+    Severity.ERROR,
+    "Mutable default arguments are shared across calls; use None (or a "
+    "dataclass default_factory).",
+)
+def _check_no_mutable_default(context: ModuleContext) -> Iterator[Diagnostic]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            default for default in node.args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                yield context.diagnostic(
+                    "REP003",
+                    Severity.ERROR,
+                    default,
+                    f"mutable default argument in {node.name}()",
+                    "default to None and create the value in the body",
+                )
+
+
+# -- REP004 ---------------------------------------------------------------
+
+
+@rule(
+    "REP004",
+    "evidence-confidence-range",
+    Severity.ERROR,
+    "Evidence confidences are probabilities: literal arguments to "
+    "Evidence(...) must lie in [0, 1].",
+)
+def _check_evidence_confidence(context: ModuleContext) -> Iterator[Diagnostic]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _call_name(node.func) != "Evidence":
+            continue
+        literal = None
+        if len(node.args) >= 2:
+            literal = _numeric_literal(node.args[1])
+        for keyword in node.keywords:
+            if keyword.arg == "confidence":
+                literal = _numeric_literal(keyword.value)
+        if literal is not None and not 0.0 <= literal <= 1.0:
+            yield context.diagnostic(
+                "REP004",
+                Severity.ERROR,
+                node,
+                f"Evidence confidence literal {literal} outside [0, 1]",
+                "confidences are probabilities; rescale the literal",
+            )
+
+
+# -- REP005 ---------------------------------------------------------------
+
+_PURE_LAYERS = {"model", "quality"}
+_CLOCK_ATTRS = {"now", "utcnow", "today"}
+
+
+@rule(
+    "REP005",
+    "pure-layer-determinism",
+    Severity.ERROR,
+    "The model and quality layers must be deterministic: no wall-clock "
+    "reads (datetime.now/today) and no `random` — time and randomness "
+    "enter the system only as explicit inputs.",
+)
+def _check_pure_layer_determinism(
+    context: ModuleContext,
+) -> Iterator[Diagnostic]:
+    if context.layer not in _PURE_LAYERS:
+        return
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "random":
+                    yield context.diagnostic(
+                        "REP005",
+                        Severity.ERROR,
+                        node,
+                        f"`random` imported in pure layer {context.layer!r}",
+                        "accept a seeded random.Random as a parameter",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "random":
+                yield context.diagnostic(
+                    "REP005",
+                    Severity.ERROR,
+                    node,
+                    f"`random` imported in pure layer {context.layer!r}",
+                    "accept a seeded random.Random as a parameter",
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _CLOCK_ATTRS
+                and not node.args
+                and not node.keywords
+            ):
+                yield context.diagnostic(
+                    "REP005",
+                    Severity.ERROR,
+                    node,
+                    f"wall-clock read `.{func.attr}()` in pure layer "
+                    f"{context.layer!r}",
+                    "pass `today`/`now` in as an argument",
+                )
+
+
+# -- REP006 ---------------------------------------------------------------
+
+
+def _module_all(tree: ast.Module) -> tuple[ast.AST, list[str]] | None:
+    for node in tree.body:
+        targets = (
+            node.targets
+            if isinstance(node, ast.Assign)
+            else [node.target]
+            if isinstance(node, ast.AnnAssign)
+            else []
+        )
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                value = node.value
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    names = [
+                        element.value
+                        for element in value.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    ]
+                    return node, names
+    return None
+
+
+def _top_level_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+@rule(
+    "REP006",
+    "all-consistency",
+    Severity.ERROR,
+    "__all__ must list only names the module defines (errors), and "
+    "public top-level defs should be exported when __all__ exists (info).",
+)
+def _check_all_consistency(context: ModuleContext) -> Iterator[Diagnostic]:
+    found = _module_all(context.tree)
+    if found is None:
+        return
+    node, exported = found
+    defined = _top_level_names(context.tree)
+    # PEP 562: a module-level __getattr__ resolves names dynamically, so
+    # statically undefined exports cannot be proven wrong.
+    has_module_getattr = "__getattr__" in defined
+    for name in exported:
+        if name not in defined and not has_module_getattr:
+            yield context.diagnostic(
+                "REP006",
+                Severity.ERROR,
+                node,
+                f"__all__ exports undefined name {name!r}",
+                "define the name or remove it from __all__",
+            )
+    for body_node in context.tree.body:
+        if isinstance(
+            body_node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            if body_node.name.startswith("_"):
+                continue
+            if body_node.name not in exported:
+                yield context.diagnostic(
+                    "REP006",
+                    Severity.INFO,
+                    body_node,
+                    f"public {body_node.name!r} is not exported by __all__",
+                    "add it to __all__ or prefix it with an underscore",
+                )
+
+
+# -- REP007 ---------------------------------------------------------------
+
+#: Architectural layer order: a module may import only same-or-lower rank.
+LAYER_RANKS: Mapping[str, int] = {
+    "errors": 0,
+    "model": 1,
+    "context": 2,
+    "sources": 2,
+    "io": 2,
+    "matching": 3,
+    "extraction": 3,
+    "kb": 3,
+    "selection": 3,
+    "resolution": 4,
+    "quality": 4,
+    "mapping": 4,
+    "fusion": 5,
+    "feedback": 5,
+    "scale": 5,
+    "datagen": 5,
+    "evaluation": 6,
+    "baselines": 6,
+    "analysis": 6,
+    "core": 7,
+    "repro": 8,  # the package root re-exports the public API
+    "__main__": 9,
+}
+
+
+def _import_layer(module_name: str) -> str | None:
+    parts = module_name.split(".")
+    if parts[0] != "repro":
+        return None
+    return parts[1] if len(parts) > 1 else "repro"
+
+
+@rule(
+    "REP007",
+    "layer-import-order",
+    Severity.ERROR,
+    "Imports must follow the architecture's layer order; e.g. model/ "
+    "importing from core/ inverts the dependency structure.",
+)
+def _check_layer_import_order(context: ModuleContext) -> Iterator[Diagnostic]:
+    own_rank = LAYER_RANKS.get(context.layer)
+    if own_rank is None:
+        return
+    for node, guarded in _walk_with_type_checking(context.tree):
+        if guarded:
+            continue  # typing-only imports do not create runtime coupling
+        targets: list[str] = []
+        if isinstance(node, ast.Import):
+            targets = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            targets = [node.module]
+        for target in targets:
+            target_layer = _import_layer(target)
+            if target_layer is None or target_layer == context.layer:
+                continue
+            target_rank = LAYER_RANKS.get(target_layer)
+            if target_rank is not None and target_rank > own_rank:
+                yield context.diagnostic(
+                    "REP007",
+                    Severity.ERROR,
+                    node,
+                    f"layer {context.layer!r} (rank {own_rank}) imports from "
+                    f"higher layer {target_layer!r} (rank {target_rank}): "
+                    "architecture inversion",
+                    "move the shared code down a layer or invert the call",
+                )
+
+
+# -- REP008 ---------------------------------------------------------------
+
+
+@rule(
+    "REP008",
+    "public-class-docstring",
+    Severity.WARNING,
+    "Public classes are API surface and must carry a docstring.",
+)
+def _check_public_class_docstring(
+    context: ModuleContext,
+) -> Iterator[Diagnostic]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if node.name.startswith("_"):
+            continue
+        if ast.get_docstring(node) is None:
+            yield context.diagnostic(
+                "REP008",
+                Severity.WARNING,
+                node,
+                f"public class {node.name} has no docstring",
+                "state what the class models and its invariants",
+            )
+
+
+# -- REP009 ---------------------------------------------------------------
+
+#: Calls that return a new provenance/uncertainty-carrying value and have
+#: no side effects: discarding their result silently loses the lineage or
+#: belief update they computed.
+_MUST_USE_CALLS = {
+    "with_raw",
+    "with_cells",
+    "with_budget",
+    "derive",
+    "map_records",
+    "pool_evidence",
+    "noisy_or",
+    "log_odds_pool",
+    "bayes_update",
+    "credible_interval",
+}
+
+
+@rule(
+    "REP009",
+    "no-discarded-result",
+    Severity.ERROR,
+    "Provenance and uncertainty values are immutable: calling with_raw/"
+    "pool_evidence/... as a statement silently drops the result.",
+)
+def _check_no_discarded_result(context: ModuleContext) -> Iterator[Diagnostic]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Expr):
+            continue
+        call = node.value
+        if not isinstance(call, ast.Call):
+            continue
+        name = _call_name(call.func)
+        if name in _MUST_USE_CALLS:
+            yield context.diagnostic(
+                "REP009",
+                Severity.ERROR,
+                node,
+                f"result of {name}() is discarded: these are pure "
+                "functions returning new provenance/uncertainty values",
+                "assign or return the result",
+            )
+
+
+# -- REP010 ---------------------------------------------------------------
+
+
+@rule(
+    "REP010",
+    "no-print",
+    Severity.ERROR,
+    "Library code must not print; only __main__ CLI modules own stdout.",
+)
+def _check_no_print(context: ModuleContext) -> Iterator[Diagnostic]:
+    if context.is_main:
+        return
+    for node in ast.walk(context.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield context.diagnostic(
+                "REP010",
+                Severity.ERROR,
+                node,
+                "print() in library code",
+                "return/log the value, or move output to a __main__ module",
+            )

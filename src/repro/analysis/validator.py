@@ -1,0 +1,565 @@
+"""Static validation of wrangle plans, dataflows, and contexts.
+
+The autonomic planner composes the pipeline; this module checks the
+composition *before* any data is touched, in the spirit of Koehler et
+al.'s context-informed validation: a plan derived from contexts must be
+checkable against the contexts that produced it.  Defects that would
+otherwise surface at runtime deep inside ``Dataflow.pull`` — dangling
+dependencies, cycles, unregistered sources, out-of-range thresholds,
+fusion strategies whose data-context prerequisites are absent, budget
+contradictions — become :class:`~repro.analysis.diagnostics.Diagnostic`
+findings with stable rule ids (``PV0xx``).
+
+Inputs are duck-typed on purpose: the validator never executes plan
+machinery, it only reads declared structure, so tests can feed it plain
+dicts and hand-built plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Location,
+    Severity,
+    has_errors,
+    sort_diagnostics,
+)
+from repro.analysis.report import render_text
+from repro.errors import PlanValidationError, WranglingError
+from repro.fusion.strategies import STRATEGIES
+
+__all__ = ["ValidationReport", "PlanValidator", "validate_plan"]
+
+#: Rule catalogue for the validator half (mirrored in docs/ANALYSIS.md).
+VALIDATOR_RULES: Mapping[str, str] = {
+    "PV001": "dataflow dependency on an undefined node",
+    "PV002": "dataflow dependency cycle",
+    "PV003": "plan selects a source that is not registered",
+    "PV004": "mapping references an attribute absent from its schema",
+    "PV005": "plan threshold outside [0, 1]",
+    "PV006": "confidence or criteria weight outside [0, 1]",
+    "PV007": "fusion strategy unknown or its prerequisite is missing",
+    "PV008": "budget/floor contradiction in the user context",
+}
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """The outcome of one static validation pass."""
+
+    diagnostics: tuple[Diagnostic, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the plan may execute (no error-severity findings)."""
+        return not has_errors(self.diagnostics)
+
+    def errors(self) -> list[Diagnostic]:
+        """Only the error-severity findings."""
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        """Only the warning-severity findings."""
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def rule_ids(self) -> set[str]:
+        """The distinct rule ids that fired."""
+        return {d.rule for d in self.diagnostics}
+
+    def render(self) -> str:
+        """The findings as a text report."""
+        return render_text(self.diagnostics)
+
+    def raise_on_error(self) -> "ValidationReport":
+        """Raise :class:`PlanValidationError` when any finding is fatal."""
+        fatal = self.errors()
+        if fatal:
+            raise PlanValidationError(
+                "plan validation failed with "
+                f"{len(fatal)} error(s):\n" + render_text(fatal),
+                diagnostics=fatal,
+            )
+        return self
+
+
+def _diag(
+    rule: str,
+    severity: Severity,
+    artifact: str,
+    node: str,
+    message: str,
+    fix_hint: str = "",
+) -> Diagnostic:
+    return Diagnostic(
+        rule, severity, Location(artifact, node=node), message, fix_hint
+    )
+
+
+def _in_unit_interval(value: object) -> bool:
+    return isinstance(value, (int, float)) and 0.0 <= float(value) <= 1.0
+
+
+class PlanValidator:
+    """Static checker for plans, dataflow graphs, mappings, and contexts.
+
+    Every ``check_*`` method returns diagnostics; :meth:`validate` runs
+    all checks applicable to the artifacts it was given and folds the
+    findings into one :class:`ValidationReport`.
+    """
+
+    # -- dataflow structure (PV001, PV002) ------------------------------
+
+    def check_dataflow(self, dataflow: Any) -> list[Diagnostic]:
+        """Dangling dependencies and cycles in a dataflow graph.
+
+        Accepts a :class:`~repro.core.dataflow.Dataflow` (anything with a
+        ``dependency_map()``) or a plain ``{node: (dependencies, ...)}``
+        mapping, so defective graphs can be described without having to
+        construct one past the engine's own guards.
+        """
+        if hasattr(dataflow, "dependency_map"):
+            dependencies = dataflow.dependency_map()
+        else:
+            dependencies = {
+                name: tuple(deps) for name, deps in dict(dataflow).items()
+            }
+        findings: list[Diagnostic] = []
+        for name, deps in sorted(dependencies.items()):
+            for dep in deps:
+                if dep not in dependencies:
+                    findings.append(
+                        _diag(
+                            "PV001",
+                            Severity.ERROR,
+                            "dataflow",
+                            name,
+                            f"node {name!r} depends on undefined node {dep!r}",
+                            "define the node or drop the dependency",
+                        )
+                    )
+        cycle = self._find_cycle(dependencies)
+        if cycle:
+            path = " -> ".join(cycle)
+            findings.append(
+                _diag(
+                    "PV002",
+                    Severity.ERROR,
+                    "dataflow",
+                    cycle[0],
+                    f"dataflow contains a dependency cycle: {path}",
+                    "break the cycle by removing one of these edges",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _find_cycle(
+        dependencies: Mapping[str, Sequence[str]],
+    ) -> list[str] | None:
+        """One dependency cycle as a closed path, or ``None``."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {name: WHITE for name in dependencies}
+        stack: list[str] = []
+
+        def visit(name: str) -> list[str] | None:
+            colour[name] = GREY
+            stack.append(name)
+            for dep in dependencies.get(name, ()):
+                if dep not in colour:
+                    continue  # dangling: PV001's business, not a cycle
+                if colour[dep] == GREY:
+                    start = stack.index(dep)
+                    return stack[start:] + [dep]
+                if colour[dep] == WHITE:
+                    found = visit(dep)
+                    if found:
+                        return found
+            stack.pop()
+            colour[name] = BLACK
+            return None
+
+        for name in sorted(dependencies):
+            if colour[name] == WHITE:
+                found = visit(name)
+                if found:
+                    return found
+        return None
+
+    # -- plan vs registry (PV003, PV005) --------------------------------
+
+    def check_plan_sources(
+        self, plan: Any, registry: Any
+    ) -> list[Diagnostic]:
+        """Every source the plan selects must actually be registered."""
+        registered = self._registered_names(registry)
+        findings = []
+        for name in getattr(plan, "sources", ()):
+            if name not in registered:
+                findings.append(
+                    _diag(
+                        "PV003",
+                        Severity.ERROR,
+                        "plan",
+                        name,
+                        f"plan selects unregistered source {name!r} "
+                        f"(registered: {sorted(registered) or 'none'})",
+                        "register the source before planning, or re-plan",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _registered_names(registry: Any) -> set[str]:
+        if registry is None:
+            return set()
+        if hasattr(registry, "names"):
+            return set(registry.names())
+        return set(registry)
+
+    def check_plan_thresholds(self, plan: Any) -> list[Diagnostic]:
+        """Match and ER thresholds must be probabilities."""
+        findings = []
+        for field_name in ("match_threshold", "er_threshold"):
+            value = getattr(plan, field_name, None)
+            if value is None:
+                continue
+            if not _in_unit_interval(value):
+                findings.append(
+                    _diag(
+                        "PV005",
+                        Severity.ERROR,
+                        "plan",
+                        field_name,
+                        f"{field_name} must be in [0, 1], got {value!r}",
+                        "clamp the threshold into the unit interval",
+                    )
+                )
+        return findings
+
+    # -- fusion prerequisites (PV007) -----------------------------------
+
+    def check_fusion(
+        self,
+        plan: Any,
+        user: Any = None,
+        data: Any = None,
+        master_key: str | None = None,
+        date_attribute: str | None = None,
+    ) -> list[Diagnostic]:
+        """Fusion strategies and the data-context support they assume."""
+        findings = []
+        strategy = getattr(plan, "fusion_strategy", None)
+        known = set(STRATEGIES)
+        if strategy is not None and strategy not in known:
+            findings.append(
+                _diag(
+                    "PV007",
+                    Severity.ERROR,
+                    "plan",
+                    "fusion_strategy",
+                    f"unknown fusion strategy {strategy!r} "
+                    f"(known: {sorted(known)})",
+                    "pick one of the registered strategies",
+                )
+            )
+        target_schema = getattr(user, "target_schema", None)
+        for attribute, override in sorted(
+            (getattr(plan, "fusion_overrides", None) or {}).items()
+        ):
+            if override not in known:
+                findings.append(
+                    _diag(
+                        "PV007",
+                        Severity.ERROR,
+                        "plan",
+                        attribute,
+                        f"fusion override for {attribute!r} names unknown "
+                        f"strategy {override!r}",
+                        "pick one of the registered strategies",
+                    )
+                )
+            if target_schema is not None and attribute not in target_schema:
+                findings.append(
+                    _diag(
+                        "PV007",
+                        Severity.ERROR,
+                        "plan",
+                        attribute,
+                        f"fusion override targets attribute {attribute!r} "
+                        "absent from the target schema",
+                        "drop the override or fix the attribute name",
+                    )
+                )
+            elif override == "median" and target_schema is not None:
+                attr = target_schema.get(attribute)
+                if attr is not None and not attr.dtype.is_numeric():
+                    findings.append(
+                        _diag(
+                            "PV007",
+                            Severity.WARNING,
+                            "plan",
+                            attribute,
+                            f"median fusion on non-numeric attribute "
+                            f"{attribute!r} ({attr.dtype.value}) degrades to "
+                            "majority vote",
+                            "use a categorical strategy for this attribute",
+                        )
+                    )
+        if strategy == "recent" and date_attribute is None:
+            has_date = target_schema is not None and any(
+                attribute.dtype.value == "date" for attribute in target_schema
+            )
+            if not has_date:
+                findings.append(
+                    _diag(
+                        "PV007",
+                        Severity.WARNING,
+                        "plan",
+                        "fusion_strategy",
+                        "recency fusion selected but no date attribute is "
+                        "declared anywhere: all claims tie at default recency",
+                        "declare date_attribute or add a DATE column",
+                    )
+                )
+        if master_key is not None:
+            master_data = getattr(data, "master_data", {}) if data else {}
+            if master_key not in master_data:
+                findings.append(
+                    _diag(
+                        "PV007",
+                        Severity.ERROR,
+                        "data-context",
+                        master_key,
+                        f"master-data key {master_key!r} is declared but the "
+                        "data context holds no such master table: accuracy "
+                        "anchoring and master fusion cannot run",
+                        "add_master() the table or drop master_key",
+                    )
+                )
+        return findings
+
+    # -- user context (PV006, PV008) ------------------------------------
+
+    def check_user_context(
+        self, user: Any, plan: Any = None, registry: Any = None
+    ) -> list[Diagnostic]:
+        """Weight ranges and budget/floor contradictions."""
+        findings = []
+        for dimension, weight in sorted(
+            (getattr(user, "weights", None) or {}).items(),
+            key=lambda kv: str(kv[0]),
+        ):
+            if not _in_unit_interval(weight):
+                findings.append(
+                    _diag(
+                        "PV006",
+                        Severity.ERROR,
+                        "user-context",
+                        getattr(dimension, "value", str(dimension)),
+                        f"criteria weight for {getattr(dimension, 'value', dimension)} "
+                        f"must be in [0, 1] after normalisation, got {weight:.3f}",
+                        "remove negative raw weights before normalising",
+                    )
+                )
+        floors = getattr(user, "floors", None) or {}
+        weights = getattr(user, "weights", None) or {}
+        for dimension, floor in sorted(
+            floors.items(), key=lambda kv: str(kv[0])
+        ):
+            name = getattr(dimension, "value", str(dimension))
+            if not _in_unit_interval(floor):
+                findings.append(
+                    _diag(
+                        "PV006",
+                        Severity.ERROR,
+                        "user-context",
+                        name,
+                        f"floor for {name} must be in [0, 1], got {floor!r}",
+                        "use a probability floor",
+                    )
+                )
+            elif floor > 0 and weights.get(dimension, 0.0) == 0.0:
+                findings.append(
+                    _diag(
+                        "PV008",
+                        Severity.WARNING,
+                        "user-context",
+                        name,
+                        f"hard floor {floor:.2f} on {name} but the dimension "
+                        "carries zero weight: candidates are filtered on a "
+                        "criterion the ranking never optimises",
+                        "give the dimension a non-zero weight",
+                    )
+                )
+        budget = getattr(user, "budget", None)
+        if budget is not None and plan is not None:
+            selected = list(getattr(plan, "sources", ()) or ())
+            if budget == 0 and selected:
+                findings.append(
+                    _diag(
+                        "PV008",
+                        Severity.ERROR,
+                        "user-context",
+                        "budget",
+                        f"budget is 0 but the plan selects "
+                        f"{len(selected)} source(s): acquisition cannot be "
+                        "paid for",
+                        "raise the budget or expect an empty plan",
+                    )
+                )
+            elif budget not in (None, float("inf")) and registry is not None:
+                cost = self._plan_cost(selected, registry)
+                if cost is not None and cost > budget:
+                    findings.append(
+                        _diag(
+                            "PV008",
+                            Severity.ERROR,
+                            "user-context",
+                            "budget",
+                            f"plan's acquisition cost {cost:.1f} exceeds the "
+                            f"budget {budget:.1f}",
+                            "re-plan under the budget or raise it",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _plan_cost(selected: Sequence[str], registry: Any) -> float | None:
+        if not hasattr(registry, "get"):
+            return None
+        total = 0.0
+        for name in selected:
+            try:
+                source = registry.get(name)
+            except WranglingError:
+                return None  # unknown source: PV003's finding, not a cost
+            metadata = getattr(source, "metadata", None)
+            if metadata is None:
+                return None
+            total += metadata.cost_per_access
+        return total
+
+    # -- mappings vs schemas (PV004, PV006) -----------------------------
+
+    def check_mappings(
+        self,
+        mappings: Iterable[Any],
+        source_schemas: Mapping[str, Any] | None = None,
+    ) -> list[Diagnostic]:
+        """Attribute references and confidences of executable mappings.
+
+        ``source_schemas`` maps source name to the schema its raw table
+        exposes; when provided, every attribute map's source attribute is
+        resolved against it.  Target attributes always resolve against the
+        mapping's own target schema.
+        """
+        findings = []
+        for mapping in mappings:
+            source_name = getattr(mapping, "source_name", "?")
+            if not _in_unit_interval(getattr(mapping, "confidence", 0.0)):
+                findings.append(
+                    _diag(
+                        "PV006",
+                        Severity.ERROR,
+                        "mapping",
+                        source_name,
+                        f"mapping {getattr(mapping, 'mapping_id', '?')} has "
+                        f"confidence {mapping.confidence!r} outside [0, 1]",
+                        "confidences are probabilities",
+                    )
+                )
+            schema = (source_schemas or {}).get(source_name)
+            target_schema = getattr(mapping, "target_schema", None)
+            for attribute_map in getattr(mapping, "attribute_maps", ()):
+                if not _in_unit_interval(
+                    getattr(attribute_map, "confidence", 0.0)
+                ):
+                    findings.append(
+                        _diag(
+                            "PV006",
+                            Severity.ERROR,
+                            "mapping",
+                            source_name,
+                            f"attribute map {attribute_map.target!r} has "
+                            f"confidence {attribute_map.confidence!r} outside "
+                            "[0, 1]",
+                            "confidences are probabilities",
+                        )
+                    )
+                if (
+                    target_schema is not None
+                    and attribute_map.target not in target_schema
+                ):
+                    findings.append(
+                        _diag(
+                            "PV004",
+                            Severity.ERROR,
+                            "mapping",
+                            source_name,
+                            f"mapping produces {attribute_map.target!r} which "
+                            "is not in the target schema",
+                            "align the mapping with the user context's schema",
+                        )
+                    )
+                if schema is not None and attribute_map.source not in schema:
+                    findings.append(
+                        _diag(
+                            "PV004",
+                            Severity.ERROR,
+                            "mapping",
+                            source_name,
+                            f"mapping reads {attribute_map.source!r} which "
+                            f"source {source_name!r} does not provide "
+                            f"(schema: {sorted(a.name for a in schema)})",
+                            "re-match the source or fix the attribute name",
+                        )
+                    )
+        return findings
+
+    # -- the one-call entry point ----------------------------------------
+
+    def validate(
+        self,
+        plan: Any = None,
+        user: Any = None,
+        data: Any = None,
+        registry: Any = None,
+        dataflow: Any = None,
+        mappings: Iterable[Any] = (),
+        source_schemas: Mapping[str, Any] | None = None,
+        master_key: str | None = None,
+        date_attribute: str | None = None,
+    ) -> ValidationReport:
+        """Run every check applicable to the artifacts provided."""
+        findings: list[Diagnostic] = []
+        if dataflow is not None:
+            findings.extend(self.check_dataflow(dataflow))
+        if plan is not None:
+            findings.extend(self.check_plan_thresholds(plan))
+            if registry is not None:
+                findings.extend(self.check_plan_sources(plan, registry))
+            findings.extend(
+                self.check_fusion(
+                    plan,
+                    user=user,
+                    data=data,
+                    master_key=master_key,
+                    date_attribute=date_attribute,
+                )
+            )
+        if user is not None:
+            findings.extend(
+                self.check_user_context(user, plan=plan, registry=registry)
+            )
+        mappings = list(mappings)
+        if mappings:
+            findings.extend(self.check_mappings(mappings, source_schemas))
+        return ValidationReport(tuple(sort_diagnostics(findings)))
+
+
+def validate_plan(**artifacts: Any) -> ValidationReport:
+    """Convenience wrapper: ``PlanValidator().validate(**artifacts)``."""
+    return PlanValidator().validate(**artifacts)

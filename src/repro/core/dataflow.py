@@ -153,6 +153,16 @@ class Dataflow:
         """All node names in topological order."""
         return list(nx.topological_sort(self._graph))
 
+    def dependency_map(self) -> dict[str, tuple[str, ...]]:
+        """Every node's declared dependencies — the static-analysis view.
+
+        The plan validator consumes this to check the graph (dangling
+        dependencies, cycles) without executing any node.
+        """
+        return {
+            name: node.dependencies for name, node in self._nodes.items()
+        }
+
     def invalidate_all(self) -> None:
         """Mark every non-input node stale (full recompute on next pull)."""
         for node in self._nodes.values():

@@ -21,7 +21,7 @@ from repro.context.user_context import UserContext
 from repro.core.dataflow import Dataflow
 from repro.core.planner import AutonomicPlanner, WranglePlan
 from repro.core.result import WrangleResult
-from repro.errors import PlanningError, WranglingError
+from repro.errors import DataflowError, PlanningError, WranglingError
 from repro.model.annotations import Dimension, QualityAnnotation
 from repro.extraction.induction import ExampleAnnotation, auto_induce, induce_wrapper
 from repro.extraction.repair import WrapperRepairer
@@ -67,11 +67,16 @@ class Wrangler:
         date_attribute: str | None = None,
         today: _dt.date | None = None,
         discover_constraints: bool = False,
+        validate: bool = True,
     ) -> None:
         self.user = user
         self.data = data or DataContext()
         self.constraints = list(constraints)
         self.discover_constraints = discover_constraints
+        #: Pre-flight static validation of every composed plan (see
+        #: :mod:`repro.analysis.validator`).  ``validate=False`` is the
+        #: escape hatch for deliberately running an unchecked pipeline.
+        self.validate = validate
         self.master_key = master_key
         self.join_attribute = join_attribute
         if date_attribute is None and "updated" in user.target_schema:
@@ -114,8 +119,8 @@ class Wrangler:
         if self._flow is not None and self._flow.nodes():
             try:
                 self._flow.invalidate(f"acquire:{source_name}")
-            except Exception:  # noqa: BLE001 - node may not exist yet
-                pass
+            except DataflowError:
+                pass  # node not built yet; examples apply on first run
         return self
 
     # -- pipeline stages (dataflow node bodies) -----------------------------
@@ -482,16 +487,37 @@ class Wrangler:
 
     # -- dataflow assembly ----------------------------------------------------
 
+    def _compose_plan(self) -> WranglePlan:
+        """Run the planner, then statically validate its output.
+
+        Every ``wrangle`` run gets a pre-flight check: the composed plan,
+        the user/data contexts, and the dataflow topology are handed to
+        the :class:`~repro.analysis.validator.PlanValidator` before any
+        source is accessed.  Error-severity findings raise
+        :class:`~repro.errors.PlanValidationError`; construct the
+        Wrangler with ``validate=False`` to skip the check.
+        """
+        plan = self.planner.plan(
+            self.user, self.data, self.registry, self.working.annotations
+        )
+        if self.validate:
+            from repro.analysis.validator import PlanValidator
+
+            PlanValidator().validate(
+                plan=plan,
+                user=self.user,
+                data=self.data,
+                registry=self.registry,
+                dataflow=self._flow,
+                master_key=self.master_key,
+                date_attribute=self.date_attribute,
+            ).raise_on_error()
+        return plan
+
     def _build_flow(self) -> Dataflow:
         flow = Dataflow()
         flow.add("probe", lambda inputs: self._probe_all())
-        flow.add(
-            "plan",
-            lambda inputs: self.planner.plan(
-                self.user, self.data, self.registry, self.working.annotations
-            ),
-            ("probe",),
-        )
+        flow.add("plan", lambda inputs: self._compose_plan(), ("probe",))
         source_names = self.registry.names()
         for name in source_names:
             source = self.registry.get(name)

@@ -21,7 +21,7 @@ from html import escape
 from repro.extraction.induction import ExampleAnnotation
 from repro.sources.base import Document
 
-__all__ = ["HtmlSite", "render_site", "annotations_for", "TEMPLATES"]
+__all__ = ["HtmlSite", "render_site", "annotations_for", "random_listings", "TEMPLATES"]
 
 TEMPLATES = ("grid", "table", "messy")
 

@@ -17,7 +17,7 @@ from repro.datagen.corrupt import maybe, misspell
 from repro.model.records import Table
 from repro.model.schema import Attribute, DataType, Schema
 
-__all__ = ["JOB_SCHEMA", "JobWorld", "generate_job_world"]
+__all__ = ["JOB_SCHEMA", "JobWorld", "generate_job_world", "job_ontology"]
 
 JOB_SCHEMA = Schema(
     (

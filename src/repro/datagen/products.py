@@ -29,7 +29,7 @@ from repro.datagen.corrupt import (
 from repro.model.records import Table
 from repro.model.schema import Attribute, DataType, Schema
 
-__all__ = ["SourceSpec", "ProductWorld", "generate_world", "TARGET_SCHEMA", "TRUTH_COLUMN"]
+__all__ = ["SourceSpec", "ProductWorld", "generate_world", "default_specs", "TARGET_SCHEMA", "TRUTH_COLUMN"]
 
 #: The evaluation-only lineage column; never part of a target schema.
 TRUTH_COLUMN = "_truth"

@@ -64,5 +64,21 @@ class QueryError(WranglingError):
     """A conjunctive query is malformed or references unknown relations."""
 
 
+class AnalysisError(WranglingError):
+    """The static-analysis tooling was misused (bad path, unknown rule)."""
+
+
+class PlanValidationError(PlanningError):
+    """Static plan validation found error-severity defects before execution.
+
+    Subclasses :class:`PlanningError` so existing callers that guard the
+    planning boundary keep working; carries the offending diagnostics.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
 class RepairError(WranglingError):
     """Constraint repair could not produce a consistent instance."""

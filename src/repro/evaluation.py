@@ -22,6 +22,7 @@ __all__ = [
     "price_accuracy",
     "coverage",
     "wrangle_scorecard",
+    "truth_labels",
 ]
 
 

@@ -18,7 +18,7 @@ from typing import Callable
 
 from repro.model.schema import DataType
 
-__all__ = ["Recogniser", "RECOGNISERS", "recognise", "best_recogniser"]
+__all__ = ["Recogniser", "RECOGNISERS", "recognise", "best_recogniser", "recogniser"]
 
 
 @dataclass(frozen=True)

@@ -28,7 +28,7 @@ from repro.resolution.er import ResolutionResult
 from repro.sources.registry import SourceRegistry
 
 __all__ = ["Question", "suggest_value_questions", "suggest_source_questions",
-           "suggest_pair_questions", "suggest_questions"]
+           "suggest_pair_questions", "suggest_questions", "plan_spend"]
 
 
 @dataclass(frozen=True)

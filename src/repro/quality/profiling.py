@@ -8,7 +8,7 @@ from dataclasses import dataclass
 from repro.model.records import Table
 from repro.model.schema import DataType, infer_type
 
-__all__ = ["ColumnProfile", "TableProfile", "profile_table"]
+__all__ = ["ColumnProfile", "TableProfile", "profile_table", "profile_column"]
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,7 @@ from typing import Iterable, Sequence
 from repro.matching.similarity import token_set
 from repro.model.records import Table
 
-__all__ = ["token_blocking", "sorted_neighbourhood", "full_pairs"]
+__all__ = ["token_blocking", "sorted_neighbourhood", "full_pairs", "recall_of"]
 
 
 def full_pairs(table: Table) -> set[tuple[int, int]]:

@@ -18,7 +18,7 @@ from repro.matching.similarity import (
 from repro.model.records import Record
 from repro.model.schema import DataType, Schema
 
-__all__ = ["FieldComparator", "RecordComparator", "default_comparator", "geo_similarity"]
+__all__ = ["FieldComparator", "RecordComparator", "default_comparator", "profiled_comparator", "geo_similarity"]
 
 
 def geo_similarity(a: object, b: object, scale_degrees: float = 0.05) -> float:

@@ -156,7 +156,13 @@ class BoundedEvaluator:
             if table is None:
                 raise QueryError(f"unknown relation {atom.relation!r}")
             constraint = self._index_for(atom, bound)
-            assert constraint is not None
+            if constraint is None:
+                # The ordering phase proved an index exists for every atom;
+                # reaching here means the plan and execution disagree.
+                raise QueryError(
+                    f"no access index for atom {atom.relation!r} at "
+                    "execution time despite a feasible ordering"
+                )
             next_bindings: list[dict[str, object]] = []
             for binding in bindings:
                 next_bindings.extend(

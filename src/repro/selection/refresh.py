@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.errors import SourceError
 from repro.sources.registry import SourceRegistry
 
-__all__ = ["RefreshCandidate", "plan_refresh"]
+__all__ = ["RefreshCandidate", "plan_refresh", "expected_staleness"]
 
 
 @dataclass(frozen=True)

@@ -165,7 +165,11 @@ class SourceSelector:
                 )
                 if best_step is None or step.marginal_profit > best_step.marginal_profit:
                     best, best_step = candidate, step
-            assert best is not None and best_step is not None
+            if best is None or best_step is None:
+                raise SourceError(
+                    "greedy selection found no candidate step although "
+                    f"{len(remaining)} profiles remain"
+                )
             if spent + best.cost > budget:
                 break
             if best_step.marginal_profit <= 0 and not force_all:

@@ -1,0 +1,281 @@
+"""Every framework lint rule: a positive case and a suppressed case.
+
+Each test feeds the engine a minimal module source that violates exactly
+one rule, asserts the rule id fires, then re-runs the same source with a
+``# repro: noqa[RULE]`` comment on the offending line and asserts the
+finding is suppressed.
+"""
+
+import pytest
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.lint import lint_source
+from repro.analysis.rules import RULES, LAYER_RANKS
+
+
+def rule_ids(result):
+    return sorted({d.rule for d in result.diagnostics})
+
+
+def assert_fires_then_suppresses(source, rule_id, suppressed_source, **kwargs):
+    fired = lint_source(source, **kwargs)
+    assert rule_id in rule_ids(fired), (
+        f"{rule_id} did not fire; got {rule_ids(fired)}"
+    )
+    quiet = lint_source(suppressed_source, **kwargs)
+    assert rule_id not in rule_ids(quiet)
+    assert quiet.suppressed >= 1
+    return fired
+
+
+class TestRegistry:
+    def test_at_least_ten_rules(self):
+        assert len(RULES) >= 10
+
+    def test_rule_ids_are_stable_and_distinct(self):
+        assert sorted(RULES) == [f"REP{n:03d}" for n in range(1, len(RULES) + 1)]
+
+    def test_every_rule_has_description_and_severity(self):
+        for rule in RULES.values():
+            assert rule.description
+            assert isinstance(rule.severity, Severity)
+
+
+class TestRep001BareAssert:
+    def test_fires_and_suppresses(self):
+        assert_fires_then_suppresses(
+            "def f(x):\n    assert x > 0\n    return x\n",
+            "REP001",
+            "def f(x):\n    assert x > 0  # repro: noqa[REP001]\n    return x\n",
+        )
+
+
+class TestRep002BroadExcept:
+    def test_except_exception_fires(self):
+        assert_fires_then_suppresses(
+            "try:\n    pass\nexcept Exception:\n    pass\n",
+            "REP002",
+            "try:\n    pass\nexcept Exception:  # repro: noqa[REP002]\n    pass\n",
+        )
+
+    def test_bare_except_fires(self):
+        result = lint_source("try:\n    pass\nexcept:\n    pass\n")
+        assert "REP002" in rule_ids(result)
+
+    def test_tuple_with_exception_fires(self):
+        result = lint_source(
+            "try:\n    pass\nexcept (ValueError, Exception):\n    pass\n"
+        )
+        assert "REP002" in rule_ids(result)
+
+    def test_precise_handler_clean(self):
+        result = lint_source(
+            "try:\n    pass\nexcept ValueError:\n    pass\n"
+        )
+        assert "REP002" not in rule_ids(result)
+
+
+class TestRep003MutableDefault:
+    def test_list_literal_fires(self):
+        assert_fires_then_suppresses(
+            "def f(items=[]):\n    return items\n",
+            "REP003",
+            "def f(items=[]):  # repro: noqa[REP003]\n    return items\n",
+        )
+
+    def test_dict_call_fires(self):
+        result = lint_source("def f(table=dict()):\n    return table\n")
+        assert "REP003" in rule_ids(result)
+
+    def test_none_default_clean(self):
+        result = lint_source("def f(items=None):\n    return items\n")
+        assert "REP003" not in rule_ids(result)
+
+
+class TestRep004EvidenceConfidence:
+    def test_positional_literal_fires(self):
+        assert_fires_then_suppresses(
+            "e = Evidence('name', 1.5)\n",
+            "REP004",
+            "e = Evidence('name', 1.5)  # repro: noqa[REP004]\n",
+        )
+
+    def test_keyword_negative_literal_fires(self):
+        result = lint_source("e = Evidence(kind='x', confidence=-0.2)\n")
+        assert "REP004" in rule_ids(result)
+
+    def test_in_range_literal_clean(self):
+        result = lint_source("e = Evidence('name', 0.7)\n")
+        assert "REP004" not in rule_ids(result)
+
+    def test_non_literal_clean(self):
+        result = lint_source("e = Evidence('name', score)\n")
+        assert "REP004" not in rule_ids(result)
+
+
+class TestRep005PureLayerDeterminism:
+    PATH = "src/repro/model/example.py"
+
+    def test_random_import_fires_in_model(self):
+        assert_fires_then_suppresses(
+            "import random\n",
+            "REP005",
+            "import random  # repro: noqa[REP005]\n",
+            path=self.PATH,
+        )
+
+    def test_wall_clock_fires_in_quality(self):
+        result = lint_source(
+            "import datetime\nnow = datetime.datetime.now()\n",
+            path="src/repro/quality/example.py",
+        )
+        assert "REP005" in rule_ids(result)
+
+    def test_random_fine_outside_pure_layers(self):
+        result = lint_source("import random\n", path="src/repro/datagen/x.py")
+        assert "REP005" not in rule_ids(result)
+
+
+class TestRep006AllConsistency:
+    def test_undefined_export_fires(self):
+        assert_fires_then_suppresses(
+            "__all__ = ['missing']\n",
+            "REP006",
+            "__all__ = ['missing']  # repro: noqa[REP006]\n",
+        )
+
+    def test_unexported_public_def_is_info(self):
+        result = lint_source(
+            "__all__ = ['f']\n\ndef f():\n    pass\n\ndef g():\n    pass\n"
+        )
+        infos = [d for d in result.diagnostics if d.rule == "REP006"]
+        assert len(infos) == 1
+        assert infos[0].severity is Severity.INFO
+
+    def test_module_getattr_permits_lazy_exports(self):
+        result = lint_source(
+            "__all__ = ['lazy']\n\ndef __getattr__(name):\n    return 1\n"
+        )
+        errors = [
+            d
+            for d in result.diagnostics
+            if d.rule == "REP006" and d.severity is Severity.ERROR
+        ]
+        assert errors == []
+
+
+class TestRep007LayerImportOrder:
+    def test_model_importing_core_fires(self):
+        assert_fires_then_suppresses(
+            "from repro.core.wrangler import Wrangler\n",
+            "REP007",
+            "from repro.core.wrangler import Wrangler  # repro: noqa[REP007]\n",
+            path="src/repro/model/example.py",
+        )
+
+    def test_core_importing_model_clean(self):
+        result = lint_source(
+            "from repro.model.records import Table\n",
+            path="src/repro/core/example.py",
+        )
+        assert "REP007" not in rule_ids(result)
+
+    def test_type_checking_guard_exempt(self):
+        result = lint_source(
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.core.wrangler import Wrangler\n",
+            path="src/repro/model/example.py",
+        )
+        assert "REP007" not in rule_ids(result)
+
+    def test_rank_table_covers_every_package(self):
+        for layer in (
+            "errors", "model", "context", "sources", "core", "analysis",
+            "fusion", "resolution", "quality", "repro", "__main__",
+        ):
+            assert layer in LAYER_RANKS
+
+
+class TestRep008PublicClassDocstring:
+    def test_missing_docstring_fires(self):
+        assert_fires_then_suppresses(
+            "class Thing:\n    pass\n",
+            "REP008",
+            "class Thing:  # repro: noqa[REP008]\n    pass\n",
+        )
+
+    def test_private_class_exempt(self):
+        result = lint_source("class _Internal:\n    pass\n")
+        assert "REP008" not in rule_ids(result)
+
+    def test_documented_class_clean(self):
+        result = lint_source('class Thing:\n    """Docs."""\n')
+        assert "REP008" not in rule_ids(result)
+
+
+class TestRep009DiscardedResult:
+    def test_discarded_with_raw_fires(self):
+        assert_fires_then_suppresses(
+            "value.with_raw(1, step, 'x')\n",
+            "REP009",
+            "value.with_raw(1, step, 'x')  # repro: noqa[REP009]\n",
+        )
+
+    def test_discarded_pool_evidence_fires(self):
+        result = lint_source("pool_evidence(items)\n")
+        assert "REP009" in rule_ids(result)
+
+    def test_assigned_result_clean(self):
+        result = lint_source("new = value.with_raw(1, step, 'x')\n")
+        assert "REP009" not in rule_ids(result)
+
+
+class TestRep010NoPrint:
+    def test_print_fires_in_library(self):
+        assert_fires_then_suppresses(
+            "print('hello')\n",
+            "REP010",
+            "print('hello')  # repro: noqa[REP010]\n",
+            path="src/repro/core/example.py",
+        )
+
+    def test_main_module_exempt(self):
+        result = lint_source(
+            "print('hello')\n", path="src/repro/__main__.py"
+        )
+        assert "REP010" not in rule_ids(result)
+
+
+class TestSuppressionSyntax:
+    def test_blanket_noqa_suppresses_all_rules(self):
+        result = lint_source("assert print('x')  # repro: noqa\n")
+        assert result.diagnostics == ()
+        assert result.suppressed >= 2
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        result = lint_source("assert x  # repro: noqa[REP010]\n")
+        assert "REP001" in rule_ids(result)
+
+    def test_multiple_rules_in_one_noqa(self):
+        result = lint_source(
+            "assert print('x')  # repro: noqa[REP001, REP010]\n"
+        )
+        assert result.diagnostics == ()
+
+
+class TestSelfHosting:
+    def test_repo_tree_is_clean(self):
+        """The shipped tree passes its own linter with zero errors."""
+        import pathlib
+
+        import repro
+        from repro.analysis.lint import lint_paths
+
+        result = lint_paths([str(pathlib.Path(repro.__file__).parent)])
+        errors = [
+            d for d in result.diagnostics if d.severity is Severity.ERROR
+        ]
+        assert errors == []
+        assert result.ok
+        assert result.exit_code == 0

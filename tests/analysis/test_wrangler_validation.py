@@ -1,0 +1,107 @@
+"""Pre-flight validation wired into the Wrangler (validate=True default)."""
+
+import pytest
+
+from repro.analysis.validator import PlanValidator
+from repro.context.data_context import DataContext
+from repro.context.user_context import UserContext
+from repro.core.planner import AutonomicPlanner, WranglePlan
+from repro.core.wrangler import Wrangler
+from repro.errors import PlanningError, PlanValidationError
+from repro.model.annotations import Dimension
+from repro.model.schema import Attribute, DataType, Schema
+from repro.sources.memory import MemorySource
+
+SCHEMA = Schema(
+    (
+        Attribute("product", DataType.STRING, required=True),
+        Attribute("price", DataType.CURRENCY),
+    )
+)
+
+ROWS = [
+    {"product": "anvil", "price": "12.00"},
+    {"product": "rope", "price": "3.50"},
+]
+
+
+def make_wrangler(**kwargs):
+    user = UserContext("u", SCHEMA, weights={Dimension.ACCURACY: 1.0})
+    wrangler = Wrangler(user, DataContext(), **kwargs)
+    wrangler.add_source(MemorySource("shop", ROWS))
+    return wrangler
+
+
+class BrokenPlanner(AutonomicPlanner):
+    """A planner that selects a source nobody registered.
+
+    The defect is deliberately one the runtime would *silently ignore*
+    (unknown names fall out of every dict lookup): without the static
+    pre-flight check it would go unnoticed rather than crash.
+    """
+
+    def plan(self, user, data, registry, annotations):
+        composed = super().plan(user, data, registry, annotations)
+        return WranglePlan(
+            sources=composed.sources + ["ghost"],
+            matcher_channels=composed.matcher_channels,
+            match_threshold=composed.match_threshold,
+            er_threshold=composed.er_threshold,
+            fusion_strategy=composed.fusion_strategy,
+        )
+
+
+class TestDefaultPreFlight:
+    def test_healthy_run_passes_validation(self):
+        result = make_wrangler().run()
+        assert len(result.table) == 2
+
+    def test_defective_plan_raises_before_execution(self):
+        wrangler = make_wrangler()
+        wrangler.planner = BrokenPlanner()
+        with pytest.raises(PlanValidationError) as failure:
+            wrangler.run()
+        assert any(d.rule == "PV003" for d in failure.value.diagnostics)
+        # Static means static: planning failed before any acquisition.
+        assert wrangler.registry.get("shop").accesses < 1.0
+
+    def test_plan_validation_error_is_a_planning_error(self):
+        wrangler = make_wrangler()
+        wrangler.planner = BrokenPlanner()
+        with pytest.raises(PlanningError):
+            wrangler.run()
+
+    def test_missing_master_data_caught_statically(self):
+        user = UserContext("u", SCHEMA)
+        wrangler = Wrangler(user, DataContext(), master_key="catalog")
+        wrangler.add_source(MemorySource("shop", ROWS))
+        with pytest.raises(PlanValidationError) as failure:
+            wrangler.run()
+        assert any(d.rule == "PV007" for d in failure.value.diagnostics)
+
+
+class TestEscapeHatch:
+    def test_validate_false_skips_the_check(self):
+        wrangler = make_wrangler(validate=False)
+        wrangler.planner = BrokenPlanner()
+        result = wrangler.run()  # unchecked pipeline still executes
+        assert "ghost" in result.plan.sources
+        assert len(result.table) == 2  # the phantom source changed nothing
+
+    def test_validate_flag_is_mutable_per_run(self):
+        wrangler = make_wrangler()
+        wrangler.planner = BrokenPlanner()
+        wrangler.validate = False
+        wrangler.run()
+        wrangler.validate = True
+        wrangler.flow.invalidate("plan")
+        with pytest.raises(PlanValidationError):
+            wrangler.run()
+
+
+class TestBuiltFlowIsValid:
+    def test_wrangler_dataflow_passes_graph_checks(self):
+        wrangler = make_wrangler()
+        report = PlanValidator().validate(dataflow=wrangler.flow)
+        assert report.ok
+        assert report.diagnostics == ()

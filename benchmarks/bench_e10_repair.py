@@ -14,7 +14,6 @@ violation rate.
 """
 
 import random
-import time
 
 from repro.model.records import Record, Table
 from repro.model.schema import Schema
@@ -22,7 +21,7 @@ from repro.model.values import Value
 from repro.quality.constraints import FunctionalDependency, violations
 from repro.quality.repair import repair_table
 
-from helpers import emit, format_table
+from helpers import bench_telemetry, emit, emit_telemetry, format_table, timed
 
 CITIES = {
     "OX": "Oxford", "EH": "Edinburgh", "B": "Birmingham",
@@ -60,13 +59,15 @@ def corrupted_table(n_rows: int, violation_rate: float, seed: int):
 
 
 def test_e10_repair_quality(benchmark):
+    telemetry = bench_telemetry()
     fd = FunctionalDependency(("postcode",), "city")
     rows = []
     for rate in (0.05, 0.15, 0.3):
         table, truth, corrupted = corrupted_table(300, rate, seed=int(rate * 100))
-        start = time.perf_counter()
-        result = repair_table(table, [fd])
-        elapsed = time.perf_counter() - start
+        result, elapsed = timed(
+            telemetry, "repair", lambda: repair_table(table, [fd]),
+            violation_rate=rate,
+        )
         assert violations(result.table, [fd]) == []
         oracle_cost = corrupted * 0.3  # change exactly the corrupted cells
         restored = sum(
@@ -98,3 +99,4 @@ def test_e10_repair_quality(benchmark):
             rows,
         ),
     )
+    emit_telemetry("E10-repair", telemetry.snapshot())

@@ -13,7 +13,6 @@ evaluation's tuple accesses vs table size (shape: flat).
 """
 
 import random
-import time
 
 from repro.model.records import Table
 from repro.resolution.comparison import profiled_comparator
@@ -24,7 +23,7 @@ from repro.scale.approximation import approximate_count
 from repro.scale.partition import partitioned_resolve
 from repro.scale.queries import Atom, ConjunctiveQuery, Variable
 
-from helpers import emit, format_table
+from helpers import bench_telemetry, emit, emit_telemetry, format_table, timed
 
 WORDS = ("aurora", "basalt", "cobalt", "dune", "ember", "fjord", "garnet",
          "harbor", "iris", "jasper", "krill", "lumen", "mesa", "nadir")
@@ -44,6 +43,7 @@ def offers_table(n_rows: int, seed: int) -> Table:
 
 
 def test_e7_partitioned_er(benchmark):
+    telemetry = bench_telemetry()
     rows = []
     for n_rows in (200, 400, 800):
         table = offers_table(n_rows, seed=n_rows)
@@ -52,16 +52,19 @@ def test_e7_partitioned_er(benchmark):
         resolver = EntityResolver(comparator=comparator,
                                   rule=ThresholdRule(0.95),
                                   small_table_cutoff=10**9)
-        start = time.perf_counter()
-        single = resolver.resolve(table)
-        single_time = time.perf_counter() - start
-
-        start = time.perf_counter()
-        parted = partitioned_resolve(
-            table, resolver, 8,
-            blocking_key=lambda r: str(r.raw("name")).split()[-1],
+        single, single_time = timed(
+            telemetry, "er.single", lambda: resolver.resolve(table),
+            rows=n_rows,
         )
-        parted_time = time.perf_counter() - start
+        parted, parted_time = timed(
+            telemetry,
+            "er.partitioned",
+            lambda: partitioned_resolve(
+                table, resolver, 8,
+                blocking_key=lambda r: str(r.raw("name")).split()[-1],
+            ),
+            rows=n_rows,
+        )
         rows.append(
             [n_rows, f"{single_time:.2f}", f"{parted_time:.2f}",
              len(single.non_singleton()), len(parted.non_singleton())]
@@ -88,6 +91,7 @@ def test_e7_partitioned_er(benchmark):
             rows,
         ),
     )
+    emit_telemetry("E7a-partitioned-er", telemetry.snapshot())
 
 
 def test_e7_query_approximation(benchmark):
@@ -127,6 +131,7 @@ def rate_seed(rate: float) -> int:
 
 
 def test_e7_access_bounded_evaluation(benchmark):
+    telemetry = bench_telemetry()
     rows = []
     accesses = []
     bench_case = None
@@ -134,7 +139,8 @@ def test_e7_access_bounded_evaluation(benchmark):
         table = offers_table(n_rows, seed=n_rows + 1)
         target = table[0].raw("name")
         evaluator = BoundedEvaluator(
-            [AccessConstraint("offers", ("name",), bound=10)], budget=10_000
+            [AccessConstraint("offers", ("name",), bound=10)], budget=10_000,
+            metrics=telemetry.metrics,
         )
         query = ConjunctiveQuery(
             ("p",),
@@ -155,6 +161,7 @@ def test_e7_access_bounded_evaluation(benchmark):
         "E7c-access-bounded",
         format_table(["table rows", "tuples accessed"], rows),
     )
+    emit_telemetry("E7c-access-bounded", telemetry.snapshot())
     # Scale independence: the number of tuples fetched does not grow with
     # the database (each entity appears exactly twice).
     assert max(accesses) <= 4

@@ -2,23 +2,31 @@
 
 Every benchmark prints its experiment table through :func:`emit`, which
 also persists it under ``benchmarks/results/`` so EXPERIMENTS.md can quote
-measured numbers verbatim.
+measured numbers verbatim.  Timings go through the observability layer
+(:func:`timed` wraps work in a tracer span; :func:`emit_telemetry`
+persists the schema-checked ``repro.obs`` snapshot), so every benchmark
+reports in the same format as ``Wrangler.run`` itself.
 """
 
 from __future__ import annotations
 
 import datetime
+import json
 from pathlib import Path
+from typing import Callable, TypeVar
 
 from repro.context.data_context import DataContext
 from repro.context.user_context import UserContext
 from repro.core.wrangler import Wrangler
 from repro.datagen.ontologies import product_ontology
 from repro.datagen.products import TARGET_SCHEMA, ProductWorld, generate_world
+from repro.obs import Telemetry, validate_telemetry
 from repro.sources.memory import MemorySource
 
 TODAY = datetime.date(2016, 3, 15)
 RESULTS_DIR = Path(__file__).parent / "results"
+
+T = TypeVar("T")
 
 
 def emit(experiment: str, text: str) -> None:
@@ -27,6 +35,46 @@ def emit(experiment: str, text: str) -> None:
     print(banner)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment}.txt").write_text(banner, encoding="utf-8")
+
+
+def bench_telemetry() -> Telemetry:
+    """A fresh clock/metrics/tracer bundle for one benchmark's measurements."""
+    return Telemetry()
+
+
+def timed(
+    telemetry: Telemetry, label: str, work: Callable[[], T], **attributes
+) -> tuple[T, float]:
+    """Run ``work`` under a tracer span; return ``(value, seconds)``.
+
+    The duration also lands in the ``<label>.seconds`` histogram so the
+    emitted telemetry carries p50/p95/max across repeated measurements.
+    """
+    with telemetry.tracer.span(label, **attributes) as span:
+        value = work()
+    telemetry.metrics.histogram(f"{label}.seconds").observe(span.duration)
+    return value, span.duration
+
+
+def emit_telemetry(experiment: str, snapshot: dict) -> Path:
+    """Persist a benchmark's telemetry snapshot, schema-checked.
+
+    Raises when the snapshot does not match the ``repro.obs`` telemetry
+    schema — a benchmark silently emitting malformed telemetry would
+    defeat the point of a shared format.
+    """
+    problems = validate_telemetry(snapshot)
+    if problems:
+        raise ValueError(
+            f"{experiment} telemetry violates the schema: {problems}"
+        )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.telemetry.json"
+    path.write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
 
 
 def format_table(headers: list[str], rows: list[list[object]]) -> str:

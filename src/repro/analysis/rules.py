@@ -434,6 +434,7 @@ def _check_all_consistency(context: ModuleContext) -> Iterator[Diagnostic]:
 #: Architectural layer order: a module may import only same-or-lower rank.
 LAYER_RANKS: Mapping[str, int] = {
     "errors": 0,
+    "obs": 1,
     "model": 1,
     "context": 2,
     "sources": 2,
@@ -597,4 +598,95 @@ def _check_no_print(context: ModuleContext) -> Iterator[Diagnostic]:
                 node,
                 "print() in library code",
                 "return/log the value, or move output to a __main__ module",
+            )
+
+# -- REP011 ---------------------------------------------------------------
+
+#: Modules whose members constitute wall-clock reads.
+_TIME_MODULES = {"time", "datetime"}
+#: Attribute calls that read the clock when rooted at a time/datetime
+#: alias (``time.perf_counter()``, ``_dt.date.today()``, ...).
+_CLOCK_CALL_ATTRS = {
+    "time",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+    "now",
+    "utcnow",
+    "today",
+}
+#: ``from time import ...`` names that are themselves clock reads.
+_CLOCK_FUNCTION_IMPORTS = {
+    "time",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+}
+
+
+def _attribute_root(node: ast.AST) -> str | None:
+    """The base ``Name`` id of a (possibly nested) attribute chain."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+@rule(
+    "REP011",
+    "clock-reads-via-obs",
+    Severity.ERROR,
+    "Builds on REP005: wall-clock reads (time.time/perf_counter/"
+    "monotonic, datetime.now/utcnow/today) are confined to repro.obs — "
+    "everywhere else time enters through an injected Clock, so timings "
+    "and timeliness scores stay deterministic under a ManualClock.",
+)
+def _check_clock_reads_via_obs(context: ModuleContext) -> Iterator[Diagnostic]:
+    if context.layer == "obs":
+        return
+    aliases: set[str] = set()
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in _TIME_MODULES:
+                    aliases.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] in _TIME_MODULES:
+                for alias in node.names:
+                    if (
+                        node.module.split(".")[0] == "time"
+                        and alias.name in _CLOCK_FUNCTION_IMPORTS
+                    ):
+                        yield context.diagnostic(
+                            "REP011",
+                            Severity.ERROR,
+                            node,
+                            f"clock function `{alias.name}` imported from "
+                            "`time` outside repro.obs",
+                            "inject a repro.obs Clock and call "
+                            "current_time() instead",
+                        )
+                    elif alias.name in {"datetime", "date", "time"}:
+                        aliases.add(alias.asname or alias.name)
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _CLOCK_CALL_ATTRS
+            and _attribute_root(func.value) in aliases
+        ):
+            yield context.diagnostic(
+                "REP011",
+                Severity.ERROR,
+                node,
+                f"wall-clock read `.{func.attr}()` outside repro.obs",
+                "inject a repro.obs Clock (current_time/current_date/"
+                "current_datetime) instead of reading the clock directly",
             )

@@ -11,16 +11,25 @@ when a dependency (or the node itself) has been invalidated.  Feedback
 handlers invalidate exactly the nodes a feedback type touches, and the
 next ``pull`` re-runs only the dirty cone — the recompute counter is what
 experiment E6 reports.
+
+Every evaluation is observable: nodes carry hit/run/invalidation counters
+and accumulated compute seconds, and a :class:`~repro.obs.Telemetry`
+bundle (when attached) receives graph-wide counters, per-node timing
+histograms, and one trace span per recomputation.  Reading a dirty node's
+memoised value through :meth:`Dataflow.value` raises
+:class:`~repro.errors.StaleValueError` unless staleness is explicitly
+requested — silent stale reads were a bug, not a feature.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
 
 import networkx as nx
 
-from repro.errors import DataflowError
+from repro.errors import DataflowError, StaleValueError
+from repro.obs import Telemetry
 
 __all__ = ["Dataflow"]
 
@@ -30,17 +39,27 @@ class _Node:
     name: str
     compute: Callable[[Mapping[str, Any]], Any]
     dependencies: tuple[str, ...]
+    stage: str | None = None
     value: Any = None
     clean: bool = False
     runs: int = 0
+    hits: int = 0
+    invalidations: int = 0
+    seconds: float = 0.0
 
 
 class Dataflow:
     """A pull-based, memoising dataflow DAG."""
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: Telemetry | None = None) -> None:
         self._nodes: dict[str, _Node] = {}
         self._graph = nx.DiGraph()
+        #: Cached topological order; recomputed lazily after ``add``.
+        self._order: list[str] | None = None
+        #: How many times the topological order was derived (the
+        #: regression guard for pull_all's single-sweep contract).
+        self.topo_derivations = 0
+        self.telemetry = telemetry
 
     # -- construction -----------------------------------------------------
 
@@ -49,8 +68,13 @@ class Dataflow:
         name: str,
         compute: Callable[[Mapping[str, Any]], Any],
         dependencies: tuple[str, ...] = (),
+        stage: str | None = None,
     ) -> str:
-        """Add a node; dependencies must already exist (DAG by construction)."""
+        """Add a node; dependencies must already exist (DAG by construction).
+
+        ``stage`` is a free-form pipeline-stage label carried into spans
+        and telemetry exports (e.g. ``"extraction"``, ``"fusion"``).
+        """
         if name in self._nodes:
             raise DataflowError(f"node {name!r} already defined")
         for dependency in dependencies:
@@ -58,15 +82,16 @@ class Dataflow:
                 raise DataflowError(
                     f"node {name!r} depends on undefined node {dependency!r}"
                 )
-        self._nodes[name] = _Node(name, compute, tuple(dependencies))
+        self._nodes[name] = _Node(name, compute, tuple(dependencies), stage)
         self._graph.add_node(name)
         for dependency in dependencies:
             self._graph.add_edge(dependency, name)
+        self._order = None  # topology changed; re-derive on next sweep
         return name
 
     def add_input(self, name: str, value: Any = None) -> str:
         """Add a leaf node holding an externally supplied value."""
-        self.add(name, lambda inputs: None)
+        self.add(name, lambda inputs: None, stage="input")
         node = self._nodes[name]
         node.value = value
         node.clean = True
@@ -83,42 +108,109 @@ class Dataflow:
 
     def invalidate(self, name: str) -> None:
         """Mark a node (and its downstream cone) as needing recomputation."""
-        self._require(name).clean = False
+        node = self._require(name)
+        if node.clean:
+            node.clean = False
+            node.invalidations += 1
+            self._count("dataflow.invalidations")
         self._dirty_descendants(name)
 
     def _dirty_descendants(self, name: str) -> None:
         for descendant in nx.descendants(self._graph, name):
-            self._nodes[descendant].clean = False
+            node = self._nodes[descendant]
+            if node.clean:
+                node.clean = False
+                node.invalidations += 1
+                self._count("dataflow.invalidations")
+
+    def invalidate_all(self) -> None:
+        """Mark every non-input node stale (full recompute on next pull)."""
+        for node in self._nodes.values():
+            if node.dependencies and node.clean:
+                node.clean = False
+                node.invalidations += 1
+                self._count("dataflow.invalidations")
 
     # -- evaluation ---------------------------------------------------------
 
+    def _topo_order(self) -> list[str]:
+        """The cached topological order (derived once per topology)."""
+        if self._order is None:
+            self._order = list(nx.topological_sort(self._graph))
+            self.topo_derivations += 1
+        return self._order
+
+    def _recompute(self, node: _Node) -> None:
+        """Run one dirty node's compute function, timed and counted."""
+        inputs = {
+            dependency: self._nodes[dependency].value
+            for dependency in node.dependencies
+        }
+        if self.telemetry is not None:
+            clock = self.telemetry.clock
+            with self.telemetry.tracer.span(
+                f"dataflow:{node.name}",
+                node=node.name,
+                stage=node.stage,
+            ):
+                started = clock.current_time()
+                node.value = node.compute(inputs)
+                elapsed = clock.current_time() - started
+            self.telemetry.metrics.histogram(
+                "dataflow.compute_seconds"
+            ).observe(elapsed)
+            self.telemetry.metrics.counter("dataflow.misses").increment()
+        else:
+            elapsed = 0.0
+            node.value = node.compute(inputs)
+        node.seconds += elapsed
+        node.clean = True
+        node.runs += 1
+
+    def _sweep(self, names: Iterable[str]) -> None:
+        """Recompute the dirty nodes among ``names`` (topological order)."""
+        for name in names:
+            node = self._nodes[name]
+            if not node.clean:
+                self._recompute(node)
+
     def pull(self, name: str) -> Any:
-        """The node's current value, recomputing only the dirty cone."""
+        """The node's current value, recomputing only the dirty cone.
+
+        A clean node is a cache hit and returns immediately.  A dirty
+        node derives its ancestor cone **once** and sweeps it in the
+        (cached) topological order — not once per ancestor, which is what
+        made full refreshes quadratic before.
+        """
         node = self._require(name)
         if node.clean:
+            node.hits += 1
+            self._count("dataflow.hits")
             return node.value
-        order = [
-            n
-            for n in nx.topological_sort(self._graph)
-            if n == name or n in nx.ancestors(self._graph, name)
-        ]
-        for node_name in order:
-            current = self._nodes[node_name]
-            if current.clean:
-                continue
-            inputs = {
-                dependency: self._nodes[dependency].value
-                for dependency in current.dependencies
-            }
-            current.value = current.compute(inputs)
-            current.clean = True
-            current.runs += 1
+        cone = nx.ancestors(self._graph, name)
+        cone.add(name)
+        self._sweep(n for n in self._topo_order() if n in cone)
         return node.value
 
     def pull_all(self) -> None:
-        """Bring every node up to date."""
-        for name in nx.topological_sort(self._graph):
-            self.pull(name)
+        """Bring every node up to date in a single topological sweep.
+
+        Equivalent to pulling each node in turn — the per-node ``runs``
+        and ``hits`` counters come out identical — but does one pass over
+        the cached order instead of re-deriving ancestors and a fresh
+        topological sort per node.
+        """
+        for name in self._topo_order():
+            node = self._nodes[name]
+            if node.clean:
+                node.hits += 1
+                self._count("dataflow.hits")
+            else:
+                self._recompute(node)
+
+    def _count(self, metric: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(metric).increment()
 
     # -- introspection ----------------------------------------------------
 
@@ -127,9 +219,22 @@ class Dataflow:
             raise DataflowError(f"no node named {name!r}")
         return self._nodes[name]
 
-    def value(self, name: str) -> Any:
-        """The memoised value (may be stale; use ``pull`` to refresh)."""
-        return self._require(name).value
+    def value(self, name: str, allow_stale: bool = False) -> Any:
+        """The memoised value; raises on a dirty node unless allowed.
+
+        A dirty node's memoised value predates its latest invalidation:
+        handing it out silently was the bug behind stale reads after
+        feedback.  Pass ``allow_stale=True`` only where the previous
+        run's value is genuinely what is wanted (e.g. "the plan the
+        current outputs were computed with").
+        """
+        node = self._require(name)
+        if not node.clean and not allow_stale:
+            raise StaleValueError(
+                f"node {name!r} is dirty: pull() it first, or pass "
+                "allow_stale=True to read the previous run's value"
+            )
+        return node.value
 
     def is_clean(self, name: str) -> bool:
         """Whether the node is up to date."""
@@ -151,7 +256,21 @@ class Dataflow:
 
     def nodes(self) -> list[str]:
         """All node names in topological order."""
-        return list(nx.topological_sort(self._graph))
+        return list(self._topo_order())
+
+    def node_stats(self) -> dict[str, dict[str, Any]]:
+        """Per-node observability: the ``dataflow.nodes`` telemetry block."""
+        return {
+            name: {
+                "runs": node.runs,
+                "hits": node.hits,
+                "invalidations": node.invalidations,
+                "seconds": node.seconds,
+                "stage": node.stage,
+                "clean": node.clean,
+            }
+            for name, node in self._nodes.items()
+        }
 
     def dependency_map(self) -> dict[str, tuple[str, ...]]:
         """Every node's declared dependencies — the static-analysis view.
@@ -162,9 +281,3 @@ class Dataflow:
         return {
             name: node.dependencies for name, node in self._nodes.items()
         }
-
-    def invalidate_all(self) -> None:
-        """Mark every non-input node stale (full recompute on next pull)."""
-        for node in self._nodes.values():
-            if node.dependencies:
-                node.clean = False

@@ -31,6 +31,10 @@ class WrangleResult:
     source_reports: dict[str, QualityReport] = field(default_factory=dict)
     access_cost: float = 0.0
     feedback_cost: float = 0.0
+    #: The run's telemetry snapshot (schema of :mod:`repro.obs.telemetry`):
+    #: per-stage spans, dataflow hit/miss/timing stats, and every metric
+    #: the components recorded.  ``None`` only when constructed by hand.
+    telemetry: dict | None = None
 
     @property
     def total_cost(self) -> float:

@@ -41,6 +41,7 @@ from repro.mapping.selection import MappingSelector
 from repro.matching.schema_matching import SchemaMatcher
 from repro.model.records import Record, Table
 from repro.model.schema import Schema
+from repro.obs import Telemetry
 from repro.quality.constraints import Constraint
 from repro.quality.metrics import QualityAnalyser
 from repro.quality.repair import repair_table
@@ -68,6 +69,7 @@ class Wrangler:
         today: _dt.date | None = None,
         discover_constraints: bool = False,
         validate: bool = True,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.user = user
         self.data = data or DataContext()
@@ -86,8 +88,15 @@ class Wrangler:
         self.working = WorkingData()
         self.feedback = FeedbackStore()
         self.planner = AutonomicPlanner()
+        #: Clock + metrics + tracer shared by every instrumented component
+        #: of this wrangler; pass a manual-clock bundle for deterministic
+        #: timings (see :mod:`repro.obs`).
+        self.telemetry = telemetry or Telemetry()
         self.analyser = QualityAnalyser(
-            self.data, self.working.annotations, today=today
+            self.data,
+            self.working.annotations,
+            today=today,
+            clock=self.telemetry.clock,
         )
         self._examples: dict[str, list[ExampleAnnotation]] = {}
         self._flow: Dataflow | None = None
@@ -515,9 +524,12 @@ class Wrangler:
         return plan
 
     def _build_flow(self) -> Dataflow:
-        flow = Dataflow()
-        flow.add("probe", lambda inputs: self._probe_all())
-        flow.add("plan", lambda inputs: self._compose_plan(), ("probe",))
+        flow = Dataflow(telemetry=self.telemetry)
+        flow.add("probe", lambda inputs: self._probe_all(), stage="probe")
+        flow.add(
+            "plan", lambda inputs: self._compose_plan(), ("probe",),
+            stage="planning",
+        )
         source_names = self.registry.names()
         for name in source_names:
             source = self.registry.get(name)
@@ -529,6 +541,7 @@ class Wrangler:
                     else Table(s.name, Schema(()))
                 ),
                 ("plan",),
+                stage="extraction",
             )
             flow.add(
                 f"match:{name}",
@@ -536,6 +549,7 @@ class Wrangler:
                     inputs[f"acquire:{n}"], inputs["plan"]
                 ),
                 (f"acquire:{name}", "plan"),
+                stage="matching",
             )
             flow.add(
                 f"mapping:{name}",
@@ -543,6 +557,7 @@ class Wrangler:
                     n, inputs[f"match:{n}"], inputs[f"acquire:{n}"]
                 ),
                 (f"match:{name}", f"acquire:{name}"),
+                stage="mapping",
             )
             flow.add(
                 f"mapped:{name}",
@@ -550,6 +565,7 @@ class Wrangler:
                     inputs[f"mapping:{n}"], inputs[f"acquire:{n}"]
                 ),
                 (f"mapping:{name}", f"acquire:{name}"),
+                stage="mapping",
             )
             flow.add(
                 f"quality:{name}",
@@ -557,6 +573,7 @@ class Wrangler:
                     n, inputs[f"mapped:{n}"]
                 ),
                 (f"mapped:{name}",),
+                stage="quality",
             )
         mapping_deps = tuple(f"mapping:{n}" for n in source_names)
         quality_deps = tuple(f"quality:{n}" for n in source_names)
@@ -570,6 +587,7 @@ class Wrangler:
                 },
             ),
             ("plan",) + mapping_deps + quality_deps,
+            stage="selection",
         )
         flow.add(
             "translate",
@@ -578,21 +596,25 @@ class Wrangler:
                 {name: inputs[f"mapped:{name}"] for name in source_names},
             ),
             ("select",) + tuple(f"mapped:{n}" for n in source_names),
+            stage="mapping",
         )
         flow.add(
             "resolve",
             lambda inputs: self._resolve(inputs["translate"], inputs["plan"]),
             ("translate", "plan"),
+            stage="resolution",
         )
         flow.add(
             "fuse",
             lambda inputs: self._fuse(inputs["resolve"], inputs["plan"]),
             ("resolve", "plan"),
+            stage="fusion",
         )
         flow.add(
             "repair",
             lambda inputs: self._repair(inputs["fuse"], inputs["plan"]),
             ("fuse", "plan"),
+            stage="repair",
         )
         return flow
 
@@ -610,19 +632,29 @@ class Wrangler:
     def run(self) -> WrangleResult:
         """Execute (or incrementally refresh) the pipeline."""
         flow = self.flow
-        repair_result = flow.pull("repair")
-        fused = flow.value("fuse")
-        wrangled = repair_result.table if repair_result is not None else fused
-        plan = flow.value("plan")
-        quality = self.analyser.analyse(
-            wrangled,
-            user=self.user,
-            master_key=self.master_key,
-            join_attribute=self.join_attribute,
-            date_attribute=self.date_attribute,
-            constraints=self.constraints or None,
-            annotate_as="table:wrangled",
-        )
+        runs_before = flow.total_runs()
+        with self.telemetry.tracer.span("wrangle.run") as run_span:
+            repair_result = flow.pull("repair")
+            fused = flow.value("fuse")
+            wrangled = (
+                repair_result.table if repair_result is not None else fused
+            )
+            plan = flow.value("plan")
+            with self.telemetry.tracer.span(
+                "quality:wrangled", stage="quality"
+            ):
+                quality = self.analyser.analyse(
+                    wrangled,
+                    user=self.user,
+                    master_key=self.master_key,
+                    join_attribute=self.join_attribute,
+                    date_attribute=self.date_attribute,
+                    constraints=self.constraints or None,
+                    annotate_as="table:wrangled",
+                )
+            run_span.set_attribute(
+                "nodes_recomputed", flow.total_runs() - runs_before
+            )
         source_reports = {
             name: flow.value(f"quality:{name}")
             for name in self.registry.names()
@@ -644,6 +676,7 @@ class Wrangler:
             source_reports=source_reports,
             access_cost=self.registry.total_cost(),
             feedback_cost=self.feedback.total_cost(),
+            telemetry=self.telemetry.snapshot(dataflow=flow.node_stats()),
         )
 
     # -- pay-as-you-go --------------------------------------------------------
@@ -657,11 +690,18 @@ class Wrangler:
         """
         flow = self.flow
         self.feedback.extend(list(items))
+        self.telemetry.metrics.counter("feedback.items").increment(len(items))
         wrangled = self.working.get("table", "wrangled")
         propagator = FeedbackPropagator(
-            self.feedback, self.registry, self.working.annotations
+            self.feedback,
+            self.registry,
+            self.working.annotations,
+            metrics=self.telemetry.metrics,
         )
-        report = propagator.propagate(wrangled=wrangled)
+        with self.telemetry.tracer.span(
+            "feedback.apply", items=len(items)
+        ) as feedback_span:
+            report = propagator.propagate(wrangled=wrangled)
         self._match_evidence = dict(report.match_evidence)
 
         invalidated: set[str] = set()
@@ -688,7 +728,10 @@ class Wrangler:
         # replan — acquisition of newly selected sources is then a
         # legitimate, paid-for recomputation.  The 10% profit hysteresis
         # keeps near-tie oscillations from thrashing the pipeline.
-        current_plan = flow.value("plan")
+        # The previous run's plan is genuinely what is wanted here: the
+        # comparison asks whether feedback moved the beliefs enough to
+        # beat the plan the current outputs were computed with.
+        current_plan = flow.value("plan", allow_stale=True)
         if current_plan is not None:
             fresh_plan = self.planner.plan(
                 self.user, self.data, self.registry, self.working.annotations
@@ -715,6 +758,10 @@ class Wrangler:
 
         for node in sorted(invalidated):
             flow.invalidate(node)
+        feedback_span.set_attribute("invalidated", sorted(invalidated))
+        self.telemetry.metrics.counter(
+            "feedback.nodes_invalidated"
+        ).increment(len(invalidated))
 
     def refresh_source(self, source_name: str) -> None:
         """Re-acquire one (volatile) source on the next run — Velocity.

@@ -68,6 +68,14 @@ class AnalysisError(WranglingError):
     """The static-analysis tooling was misused (bad path, unknown rule)."""
 
 
+class TelemetryError(WranglingError):
+    """The observability layer was misused (bad metric kind, clock abuse)."""
+
+
+class StaleValueError(DataflowError):
+    """A dataflow node's memoised value was read while the node is dirty."""
+
+
 class PlanValidationError(PlanningError):
     """Static plan validation found error-severity defects before execution.
 

@@ -35,6 +35,7 @@ from repro.feedback.types import (
 from repro.model.annotations import AnnotationStore, Dimension, QualityAnnotation
 from repro.model.records import Record, Table
 from repro.model.uncertainty import log_odds_pool
+from repro.obs.metrics import MetricsRegistry
 from repro.resolution.comparison import RecordComparator
 from repro.sources.registry import SourceRegistry
 
@@ -61,10 +62,12 @@ class FeedbackPropagator:
         store: FeedbackStore,
         registry: SourceRegistry,
         annotations: AnnotationStore,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.store = store
         self.registry = registry
         self.annotations = annotations
+        self.metrics = metrics
 
     # -- worker reliability -------------------------------------------------
 
@@ -134,6 +137,23 @@ class FeedbackPropagator:
         self._propagate_wrappers(report)
         if comparator is not None and records_by_rid:
             self._collect_er_pairs(comparator, records_by_rid, report)
+        if self.metrics is not None:
+            self.metrics.counter("feedback.propagations").increment()
+            self.metrics.counter("feedback.source_observations").increment(
+                sum(len(v) for v in report.source_observations.values())
+            )
+            self.metrics.counter("feedback.match_evidence_keys").increment(
+                len(report.match_evidence)
+            )
+            self.metrics.counter("feedback.relevance_annotations").increment(
+                report.relevance_annotations
+            )
+            self.metrics.counter("feedback.wrapper_observations").increment(
+                sum(len(v) for v in report.wrapper_observations.values())
+            )
+            self.metrics.counter("feedback.er_pairs").increment(
+                report.er_pairs
+            )
         return report
 
     def _propagate_values(self, wrangled: Table, report: PropagationReport) -> None:

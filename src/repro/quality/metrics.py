@@ -20,6 +20,7 @@ from repro.context.user_context import UserContext
 from repro.matching.similarity import name_similarity
 from repro.model.annotations import AnnotationStore, Dimension, QualityAnnotation
 from repro.model.records import Table
+from repro.obs.clock import Clock, system_clock
 from repro.quality.constraints import Constraint, violations as constraint_violations
 from repro.quality.profiling import profile_table
 
@@ -55,12 +56,15 @@ class QualityAnalyser:
         annotations: AnnotationStore | None = None,
         today: _dt.date | None = None,
         staleness_horizon_days: int = 30,
+        clock: Clock | None = None,
     ) -> None:
         self.context = context
         self.annotations = annotations if annotations is not None else AnnotationStore()
-        # The clock is read once, at the construction boundary, only when
-        # the caller declines to pin time — measurements stay deterministic.
-        self.today = today or _dt.date.today()  # repro: noqa[REP005]
+        # Time enters through an explicit, injectable clock: pin `today`
+        # directly, or hand in a ManualClock, and every timeliness score
+        # is reproducible.  The clock is read once, at the construction
+        # boundary.
+        self.today = today or (clock or system_clock).current_date()
         self.staleness_horizon_days = staleness_horizon_days
 
     # -- dimension measurements -----------------------------------------

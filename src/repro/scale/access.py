@@ -18,6 +18,7 @@ from typing import Mapping
 
 from repro.errors import QueryError
 from repro.model.records import Table
+from repro.obs.metrics import MetricsRegistry
 from repro.scale.queries import Atom, ConjunctiveQuery, Variable
 
 __all__ = ["AccessConstraint", "BoundedEvaluator", "AccessBudgetExceeded"]
@@ -48,12 +49,30 @@ class BoundedEvaluator:
         self,
         constraints: list[AccessConstraint],
         budget: int,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if budget <= 0:
             raise QueryError("access budget must be positive")
         self.constraints = constraints
         self.budget = budget
         self.accesses = 0
+        #: When given, every evaluation reports its tuple accesses against
+        #: the budget — bounded evaluation ([17]) is only meaningful when
+        #: accesses are actually counted and surfaced.
+        self.metrics = metrics
+
+    def _report(self) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter("bounded.queries").increment()
+        self.metrics.counter("bounded.accesses").increment(self.accesses)
+        self.metrics.gauge("bounded.budget").set(self.budget)
+        self.metrics.gauge(
+            "bounded.budget_remaining"
+        ).set(max(0, self.budget - self.accesses))
+        self.metrics.histogram(
+            "bounded.accesses_per_query"
+        ).observe(self.accesses)
 
     def _index_for(
         self, atom: Atom, bound_variables: set[str]
@@ -131,6 +150,16 @@ class BoundedEvaluator:
         front (statically — before any data is read).
         """
         self.accesses = 0
+        try:
+            return self._evaluate(query, relations)
+        finally:
+            # Accesses are reported even when the budget blows: the
+            # over-budget query is precisely the one worth seeing.
+            self._report()
+
+    def _evaluate(
+        self, query: ConjunctiveQuery, relations: Mapping[str, Table]
+    ) -> list[dict[str, object]]:
         remaining = list(query.atoms)
         ordered: list[Atom] = []
         bound: set[str] = set()

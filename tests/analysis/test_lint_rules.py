@@ -247,6 +247,53 @@ class TestRep010NoPrint:
         assert "REP010" not in rule_ids(result)
 
 
+class TestRep011ClockReadsViaObs:
+    PATH = "src/repro/core/example.py"
+
+    def test_time_time_fires(self):
+        assert_fires_then_suppresses(
+            "import time\nstart = time.time()\n",
+            "REP011",
+            "import time\nstart = time.time()  # repro: noqa[REP011]\n",
+            path=self.PATH,
+        )
+
+    def test_perf_counter_import_fires(self):
+        result = lint_source(
+            "from time import perf_counter\n", path=self.PATH
+        )
+        assert "REP011" in rule_ids(result)
+
+    def test_datetime_now_fires(self):
+        result = lint_source(
+            "import datetime\nnow = datetime.datetime.now()\n",
+            path=self.PATH,
+        )
+        assert "REP011" in rule_ids(result)
+
+    def test_aliased_date_today_fires(self):
+        result = lint_source(
+            "import datetime as _dt\ntoday = _dt.date.today()\n",
+            path=self.PATH,
+        )
+        assert "REP011" in rule_ids(result)
+
+    def test_obs_layer_exempt(self):
+        result = lint_source(
+            "import time\nstart = time.perf_counter()\n",
+            path="src/repro/obs/clock.py",
+        )
+        assert "REP011" not in rule_ids(result)
+
+    def test_clock_abstraction_clean(self):
+        result = lint_source(
+            "from repro.obs import system_clock\n"
+            "start = system_clock.current_time()\n",
+            path=self.PATH,
+        )
+        assert "REP011" not in rule_ids(result)
+
+
 class TestSuppressionSyntax:
     def test_blanket_noqa_suppresses_all_rules(self):
         result = lint_source("assert print('x')  # repro: noqa\n")

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core.dataflow import Dataflow
-from repro.errors import DataflowError
+from repro.errors import DataflowError, StaleValueError
+from repro.obs import ManualClock, Telemetry
 
 
 def build_diamond():
@@ -83,9 +84,138 @@ class TestEvaluation:
         assert order.index("a") < order.index("b") < order.index("d")
         assert order.index("c") < order.index("d")
 
-    def test_value_returns_stale_without_recompute(self):
+    def test_value_raises_on_dirty_node(self):
         flow = build_diamond()
         flow.pull("d")
         flow.set_input("a", 5)
-        assert flow.value("d") == 12  # stale
+        with pytest.raises(StaleValueError):
+            flow.value("d")
         assert flow.pull("d") == 56
+        assert flow.value("d") == 56  # clean again after the pull
+
+    def test_value_allow_stale_reads_previous_run(self):
+        flow = build_diamond()
+        flow.pull("d")
+        flow.set_input("a", 5)
+        assert flow.value("d", allow_stale=True) == 12
+        # The explicit stale read does not recompute anything.
+        assert not flow.is_clean("d")
+
+    def test_never_computed_node_is_stale(self):
+        flow = build_diamond()
+        with pytest.raises(StaleValueError):
+            flow.value("d")
+
+
+class TestObservability:
+    def test_hit_counters(self):
+        flow = build_diamond()
+        flow.pull("d")
+        flow.pull("d")
+        flow.pull("d")
+        stats = flow.node_stats()
+        assert stats["d"]["runs"] == 1
+        assert stats["d"]["hits"] == 2
+
+    def test_invalidation_counters_cover_the_cone(self):
+        flow = build_diamond()
+        flow.pull("d")
+        flow.invalidate("c")
+        stats = flow.node_stats()
+        assert stats["c"]["invalidations"] == 1
+        assert stats["d"]["invalidations"] == 1
+        assert stats["b"]["invalidations"] == 0
+        # Re-invalidating an already-dirty node does not double-count.
+        flow.invalidate("c")
+        assert flow.node_stats()["c"]["invalidations"] == 1
+
+    def test_telemetry_records_spans_and_timings(self):
+        clock = ManualClock()
+        telemetry = Telemetry(clock=clock)
+        flow = Dataflow(telemetry=telemetry)
+        flow.add_input("a", 1)
+
+        def slow(inputs):
+            clock.advance(0.25)
+            return inputs["a"] + 1
+
+        flow.add("b", slow, ("a",), stage="demo")
+        flow.pull("b")
+        assert flow.node_stats()["b"]["seconds"] == pytest.approx(0.25)
+        spans = telemetry.tracer.find("dataflow:b")
+        assert len(spans) == 1
+        assert spans[0].attributes["stage"] == "demo"
+        assert spans[0].duration == pytest.approx(0.25)
+        snapshot = telemetry.metrics.snapshot()
+        assert snapshot["counters"]["dataflow.misses"] == 1
+        summary = snapshot["histograms"]["dataflow.compute_seconds"]
+        assert summary["count"] == 1
+        assert summary["max"] == pytest.approx(0.25)
+
+
+def build_chain(length):
+    flow = Dataflow()
+    flow.add_input("n0", 0)
+    for i in range(1, length):
+        flow.add(f"n{i}", lambda inputs, p=f"n{i - 1}": inputs[p] + 1,
+                 (f"n{i - 1}",))
+    return flow
+
+
+class TestSweepComplexity:
+    """Regression guards for the single-sweep pull_all rewrite."""
+
+    def test_pull_all_derives_topo_order_once(self, monkeypatch):
+        import repro.core.dataflow as dataflow_module
+
+        flow = build_chain(500)
+        calls = {"count": 0}
+        original = dataflow_module.nx.topological_sort
+
+        def counting(graph):
+            calls["count"] += 1
+            return original(graph)
+
+        monkeypatch.setattr(
+            dataflow_module.nx, "topological_sort", counting
+        )
+        flow.pull_all()
+        # One derivation for the whole refresh — not one per node, which
+        # is what made a full 500-node refresh O(V·(V+E)).
+        assert calls["count"] == 1
+        assert flow.topo_derivations == 1
+        assert all(flow.runs(f"n{i}") == 1 for i in range(1, 500))
+        # A second refresh with nothing dirty re-sorts nothing.
+        flow.pull_all()
+        assert calls["count"] == 1
+
+    def test_pull_derives_ancestors_once(self, monkeypatch):
+        import repro.core.dataflow as dataflow_module
+
+        flow = build_chain(200)
+        calls = {"count": 0}
+        original = dataflow_module.nx.ancestors
+
+        def counting(graph, node):
+            calls["count"] += 1
+            return original(graph, node)
+
+        monkeypatch.setattr(dataflow_module.nx, "ancestors", counting)
+        assert flow.pull("n199") == 199
+        assert calls["count"] == 1
+
+    def test_pull_all_counters_match_per_node_pulls(self):
+        """The rewrite is counter-for-counter equivalent to pulling nodes."""
+        swept = build_diamond()
+        pulled = build_diamond()
+        swept.pull_all()
+        for name in pulled.nodes():
+            pulled.pull(name)
+        assert swept.node_stats() == pulled.node_stats()
+
+        swept.invalidate("c")
+        pulled.invalidate("c")
+        swept.pull_all()
+        for name in pulled.nodes():
+            pulled.pull(name)
+        assert swept.node_stats() == pulled.node_stats()

@@ -1,0 +1,61 @@
+"""Tests for the clock abstraction."""
+
+import datetime
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs import Clock, ManualClock, SystemClock
+
+
+class TestManualClock:
+    def test_starts_where_told(self):
+        clock = ManualClock(start=5.0)
+        assert clock.current_time() == 5.0
+
+    def test_advance_moves_time(self):
+        clock = ManualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.current_time() == 2.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(TelemetryError):
+            ManualClock().advance(-1.0)
+
+    def test_date_moves_with_whole_days(self):
+        clock = ManualClock(today=datetime.date(2016, 3, 15))
+        assert clock.current_date() == datetime.date(2016, 3, 15)
+        clock.advance(2 * 86400)
+        assert clock.current_date() == datetime.date(2016, 3, 17)
+
+    def test_determinism(self):
+        """Two clocks given the same advances observe identical instants."""
+
+        def run(clock):
+            observed = [clock.current_time()]
+            for step in (0.1, 0.2, 0.3):
+                clock.advance(step)
+                observed.append(clock.current_time())
+            observed.append(clock.current_datetime())
+            return observed
+
+        assert run(ManualClock()) == run(ManualClock())
+
+
+class TestSystemClock:
+    def test_time_is_monotone(self):
+        clock = SystemClock()
+        first = clock.current_time()
+        second = clock.current_time()
+        assert second >= first
+
+    def test_granularities_are_consistent(self):
+        clock = SystemClock()
+        assert isinstance(clock.current_date(), datetime.date)
+        assert isinstance(clock.current_datetime(), datetime.datetime)
+        assert clock.current_datetime().date() == clock.current_date()
+
+    def test_is_a_clock(self):
+        assert isinstance(SystemClock(), Clock)
+        assert isinstance(ManualClock(), Clock)

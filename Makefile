@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-json bench-smoke check
+.PHONY: test lint lint-json typecheck bench-smoke check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,10 +14,15 @@ lint:
 lint-json:
 	$(PYTHON) -m repro.analysis.lint src/repro --format json
 
+# Schema-flow typecheck + purity certification of every shipped example
+# plan; exits 1 on any error-severity finding.
+typecheck:
+	$(PYTHON) -m repro.analysis.typecheck examples
+
 # One small benchmark end to end, then schema-check the telemetry it
 # emitted: catches drift between the benchmarks and the repro.obs schema.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_e10_repair.py -q -p no:cacheprovider
 	$(PYTHON) -m repro.obs.report benchmarks/results/E10-repair.telemetry.json --validate-only
 
-check: test lint bench-smoke
+check: test lint typecheck bench-smoke

@@ -101,11 +101,13 @@ def standard_world(
 
 
 def build_wrangler(
-    world: ProductWorld,
+    world: ProductWorld | None = None,
     user: UserContext | None = None,
     with_master: bool = True,
 ) -> Wrangler:
-    """A ready-to-run Wrangler over a generated world."""
+    """A ready-to-run Wrangler over a generated world (default: the
+    standard one, so the static typechecker can build the plan)."""
+    world = world or standard_world()
     user = user or UserContext.precision_first(
         "bench", TARGET_SCHEMA, budget=60.0
     )

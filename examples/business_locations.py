@@ -44,14 +44,9 @@ def website_pages(world):
     return render_site("biz-sites", listings, template="grid")
 
 
-def main() -> None:
-    world = generate_location_world(n_businesses=60, seed=99)
-    truth_ids = {r.raw("business_id") for r in world.ground_truth}
-    print(f"{len(truth_ids)} true businesses; "
-          f"{len(world.checkin_rows)} check-in rows "
-          f"({sum(1 for r in world.checkin_rows if r['_truth'] is None)} fantasy), "
-          f"{len(world.directory_rows)} directory rows, "
-          f"{len(world.website_rows)} website rows\n")
+def build_wrangler(world=None):
+    if world is None:
+        world = generate_location_world(n_businesses=60, seed=99)
 
     user = UserContext(
         "ad-platform",
@@ -78,7 +73,19 @@ def main() -> None:
         MemorySource("websites", world.website_rows, cost_per_access=2.0,
                      domain="local businesses")
     )
+    return wrangler
 
+
+def main() -> None:
+    world = generate_location_world(n_businesses=60, seed=99)
+    truth_ids = {r.raw("business_id") for r in world.ground_truth}
+    print(f"{len(truth_ids)} true businesses; "
+          f"{len(world.checkin_rows)} check-in rows "
+          f"({sum(1 for r in world.checkin_rows if r['_truth'] is None)} fantasy), "
+          f"{len(world.directory_rows)} directory rows, "
+          f"{len(world.website_rows)} website rows\n")
+
+    wrangler = build_wrangler(world)
     result = wrangler.run()
     print(result.explain())
     print()

@@ -14,11 +14,9 @@ from repro.datagen import JOB_SCHEMA, generate_job_world, job_ontology
 from repro.model.annotations import Dimension
 
 
-def main() -> None:
-    world = generate_job_world(n_jobs=50, n_boards=4, seed=123)
-    total_rows = sum(len(rows) for rows in world.board_rows.values())
-    print(f"{len(world.ground_truth)} true vacancies syndicated into "
-          f"{total_rows} postings on {len(world.board_rows)} boards\n")
+def build_wrangler(world=None):
+    if world is None:
+        world = generate_job_world(n_jobs=50, n_boards=4, seed=123)
 
     # A completeness-leaning seeker ("show me everything") bootstraps with
     # an eager merge threshold — cheap to start, and the crowd pays to
@@ -38,7 +36,16 @@ def main() -> None:
                         today=world.today)
     for board, rows in world.board_rows.items():
         wrangler.add_source(MemorySource(board, rows, cost_per_access=0.5))
+    return wrangler
 
+
+def main() -> None:
+    world = generate_job_world(n_jobs=50, n_boards=4, seed=123)
+    total_rows = sum(len(rows) for rows in world.board_rows.values())
+    print(f"{len(world.ground_truth)} true vacancies syndicated into "
+          f"{total_rows} postings on {len(world.board_rows)} boards\n")
+
+    wrangler = build_wrangler(world)
     result = wrangler.run()
     print(result.explain())
     print()

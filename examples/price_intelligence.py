@@ -26,7 +26,13 @@ from repro.feedback.types import ValueFeedback
 TODAY = datetime.date(2016, 3, 15)
 
 
-def build_wrangler(world, user):
+def build_wrangler(world=None, user=None):
+    if world is None:
+        world = generate_world(n_products=80, n_sources=8, seed=44)
+    if user is None:
+        user = UserContext.precision_first(
+            "routine", TARGET_SCHEMA, budget=30.0
+        )
     data = (
         DataContext("products")
         .with_ontology(product_ontology())

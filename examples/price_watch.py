@@ -56,8 +56,9 @@ class Market:
         ]
 
 
-def main() -> None:
-    market = Market()
+def build_wrangler(market=None):
+    if market is None:
+        market = Market()
     user = UserContext.precision_first("watcher", TARGET_SCHEMA)
     data = DataContext("products").with_ontology(product_ontology())
     wrangler = Wrangler(user, data)
@@ -70,6 +71,12 @@ def main() -> None:
                 change_rate=5.0,
             )
         )
+    return wrangler
+
+
+def main() -> None:
+    market = Market()
+    wrangler = build_wrangler(market)
 
     result = wrangler.run()
     print(f"day 0: wrangled {len(result.table)} products "

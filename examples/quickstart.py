@@ -20,11 +20,15 @@ from repro.evaluation import wrangle_scorecard
 TODAY = datetime.date(2016, 3, 15)
 
 
-def main() -> None:
+def build_wrangler(world=None):
+    """The quickstart pipeline: 60 products, 6 retailers, one analyst.
+
+    Zero-argument by convention so ``python -m repro.analysis.typecheck``
+    can build and statically check the plan without running it.
+    """
     # -- 1. a world: 60 products, 6 retailers with the 4 V's dialled in ----
-    world = generate_world(n_products=60, n_sources=6, seed=2016)
-    print(f"generated {len(world.ground_truth)} true products, "
-          f"{len(world.source_rows)} retailer sources\n")
+    if world is None:
+        world = generate_world(n_products=60, n_sources=6, seed=2016)
 
     # -- 2. contexts -------------------------------------------------------
     user = UserContext.precision_first("analyst", TARGET_SCHEMA, budget=40.0)
@@ -33,9 +37,7 @@ def main() -> None:
         .with_ontology(product_ontology())
         .add_master("catalog", world.ground_truth)
     )
-    print(user.describe(), "\n")
 
-    # -- 3. wrangle -----------------------------------------------------------
     wrangler = Wrangler(user, data, today=TODAY)
     for name, rows in world.source_rows.items():
         spec = world.specs[name]
@@ -43,6 +45,18 @@ def main() -> None:
             MemorySource(name, rows, cost_per_access=spec.cost,
                          change_rate=spec.staleness, domain="products")
         )
+    return wrangler
+
+
+def main() -> None:
+    world = generate_world(n_products=60, n_sources=6, seed=2016)
+    print(f"generated {len(world.ground_truth)} true products, "
+          f"{len(world.source_rows)} retailer sources\n")
+
+    wrangler = build_wrangler(world)
+    print(wrangler.user.describe(), "\n")
+
+    # -- 3. wrangle -----------------------------------------------------------
     result = wrangler.run()
 
     # -- 4. inspect ---------------------------------------------------------

@@ -1,7 +1,7 @@
 """The framework linter engine and CLI: ``python -m repro.analysis.lint``.
 
 Discovers Python files, runs every registered rule from
-:mod:`repro.analysis.rules`, honours ``# repro: noqa[RULE]`` line
+:mod:`repro.analysis.rules`, honours ``# repro: noqa[...]`` line
 suppressions, and renders text or JSON via the shared reporters.
 
 Exit-code contract (what CI keys off):
@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import argparse
 import ast
-import re
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -23,14 +22,10 @@ from typing import Iterable, Sequence
 
 from repro.analysis.diagnostics import Diagnostic, has_errors, sort_diagnostics
 from repro.analysis.report import render
-from repro.analysis.rules import RULES, ModuleContext, run_rules
+from repro.analysis.rules import NOQA_RE, RULES, ModuleContext, run_rules
 from repro.errors import AnalysisError
 
 __all__ = ["LintResult", "lint_source", "lint_paths", "main"]
-
-_NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?", re.IGNORECASE
-)
 
 
 @dataclass(frozen=True)
@@ -56,7 +51,7 @@ def _suppressions(source: str) -> dict[int, set[str] | None]:
     """Per-line suppressions: line -> rule ids, or ``None`` for all rules."""
     table: dict[int, set[str] | None] = {}
     for number, line in enumerate(source.splitlines(), start=1):
-        match = _NOQA_RE.search(line)
+        match = NOQA_RE.search(line)
         if not match:
             continue
         rules = match.group("rules")

@@ -17,12 +17,20 @@ not flow back).
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.analysis.diagnostics import Diagnostic, Location, Severity
 
-__all__ = ["LintRule", "ModuleContext", "RULES", "rule", "run_rules"]
+__all__ = ["LintRule", "ModuleContext", "NOQA_RE", "RULES", "rule", "run_rules"]
+
+#: The ``# repro: noqa[RULE,...]`` pragma grammar.  Lives here (not in the
+#: engine) so REP012 can audit pragmas against the same grammar the
+#: suppression machinery in :mod:`repro.analysis.lint` parses.
+NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
 
 
 @dataclass(frozen=True)
@@ -690,3 +698,32 @@ def _check_clock_reads_via_obs(context: ModuleContext) -> Iterator[Diagnostic]:
                 "inject a repro.obs Clock (current_time/current_date/"
                 "current_datetime) instead of reading the clock directly",
             )
+
+
+# -- REP012 ---------------------------------------------------------------
+
+
+@rule(
+    "REP012",
+    "unknown-noqa-rule",
+    Severity.WARNING,
+    "A `# repro: noqa[...]` pragma naming an unregistered rule id "
+    "suppresses nothing — usually a typo that leaves the intended "
+    "finding live.",
+)
+def _check_unknown_noqa_rule(context: ModuleContext) -> Iterator[Diagnostic]:
+    for number, line in enumerate(context.source.splitlines(), start=1):
+        match = NOQA_RE.search(line)
+        if match is None or match.group("rules") is None:
+            continue
+        for token in match.group("rules").split(","):
+            name = token.strip().upper()
+            if name and name not in RULES:
+                yield Diagnostic(
+                    "REP012",
+                    Severity.WARNING,
+                    Location(context.path, number, match.start() + 1),
+                    f"noqa pragma names unknown rule id {name!r} "
+                    "(nothing is suppressed)",
+                    "fix the rule id or drop the pragma",
+                )

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis.typecheck`` delegates to the CLI."""
+
+import sys
+
+from repro.analysis.typecheck.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

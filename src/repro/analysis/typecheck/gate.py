@@ -1,0 +1,142 @@
+"""The pre-execution gate: structure + types + purity in one pass.
+
+``Wrangler.run(validate=True)`` funnels through :func:`run_preflight`,
+which folds the plan validator's structural findings (``PV0xx``), the
+schema-flow checker's type findings (``TC001``–``TC009``), and the
+purity certifier's node verdicts (``TC010``) into one
+:class:`~repro.analysis.validator.ValidationReport` — so a plan is
+refused for a dangling dependency, an untypable mapping, or an
+uncertifiable node through exactly the same machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    sort_diagnostics,
+)
+from repro.analysis.typecheck.checker import SchemaFlowChecker
+from repro.analysis.typecheck.purity import PurityAnalyser, PurityVerdict
+from repro.analysis.typecheck.signatures import tc
+from repro.analysis.validator import PlanValidator, ValidationReport
+
+__all__ = ["run_preflight", "purity_diagnostics", "probe_artifacts"]
+
+#: WorkingData key prefix under which the wrangler files probe artifacts.
+PROBE_PREFIX = "probe/"
+
+
+def probe_artifacts(
+    working: Any,
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """The per-source probe schemas and mappings filed on a blackboard.
+
+    Reads the ``schema``/``mapping`` categories of a
+    :class:`~repro.model.workingdata.WorkingData`, keeping only keys with
+    the ``probe/`` prefix (the wrangler's convention for statically
+    usable probe artifacts) and stripping it.
+    """
+    schemas: dict[str, Any] = {}
+    mappings: dict[str, Any] = {}
+    if working is None or not hasattr(working, "items"):
+        return schemas, mappings
+    for key, value in working.items("schema"):
+        if key.startswith(PROBE_PREFIX):
+            schemas[key[len(PROBE_PREFIX):]] = value
+    for key, value in working.items("mapping"):
+        if key.startswith(PROBE_PREFIX):
+            mappings[key[len(PROBE_PREFIX):]] = value
+    return schemas, mappings
+
+
+def purity_diagnostics(
+    verdicts: Mapping[str, PurityVerdict],
+) -> list[Diagnostic]:
+    """``TC010`` findings for the non-pure entries of a verdict map.
+
+    Impure nodes are errors (the engine must not cache or replay them);
+    unlocatable (``unknown``) nodes are warnings — no certificate could
+    be issued, which is worth hearing about but not fatal.
+    """
+    findings = []
+    for name, verdict in sorted(verdicts.items()):
+        if verdict.is_pure:
+            continue
+        severity = (
+            Severity.ERROR if verdict.status == "impure" else Severity.WARNING
+        )
+        detail = "; ".join(verdict.reasons) or "no reason recorded"
+        findings.append(
+            tc(
+                "TC010",
+                "dataflow",
+                name,
+                f"node {name!r} failed purity certification "
+                f"({verdict.status}): {detail}",
+                "route side effects through repro.obs or working data",
+                severity=severity,
+            )
+        )
+    return findings
+
+
+def run_preflight(
+    plan: Any = None,
+    user: Any = None,
+    data: Any = None,
+    registry: Any = None,
+    dataflow: Any = None,
+    working: Any = None,
+    source_schemas: Mapping[str, Any] | None = None,
+    mappings: Mapping[str, Any] | Iterable[Any] | None = None,
+    master_key: str | None = None,
+    date_attribute: str | None = None,
+    comparators: Sequence[Any] = (),
+    certify: bool = True,
+    analyser: PurityAnalyser | None = None,
+) -> ValidationReport:
+    """Run the full pre-execution gate and fold findings into one report.
+
+    Probe artifacts come from ``source_schemas``/``mappings`` when given
+    explicitly, falling back to the ``probe/``-prefixed entries of
+    ``working``.  ``certify=False`` skips purity certification (the
+    other two gates still run).
+    """
+    filed_schemas, filed_mappings = probe_artifacts(working)
+    if source_schemas is None:
+        source_schemas = filed_schemas
+    if mappings is None:
+        mappings = filed_mappings
+
+    validator_report = PlanValidator().validate(
+        plan=plan,
+        user=user,
+        data=data,
+        registry=registry,
+        dataflow=dataflow,
+        master_key=master_key,
+        date_attribute=date_attribute,
+    )
+    findings: list[Diagnostic] = list(validator_report.diagnostics)
+
+    findings.extend(
+        SchemaFlowChecker().check(
+            plan=plan,
+            user=user,
+            dataflow=dataflow,
+            source_schemas=source_schemas,
+            mappings=mappings,
+            registry=registry,
+            date_attribute=date_attribute,
+            comparators=comparators,
+        )
+    )
+
+    if certify and dataflow is not None and hasattr(dataflow, "certify"):
+        verdicts = dataflow.certify(analyser=analyser or PurityAnalyser())
+        findings.extend(purity_diagnostics(verdicts))
+
+    return ValidationReport(tuple(sort_diagnostics(findings)))

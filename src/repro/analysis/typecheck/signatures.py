@@ -1,0 +1,561 @@
+"""The operator-signature registry: what each pipeline stage consumes
+and produces, schema-wise.
+
+Every dataflow node kind the wrangler composes (``acquire``, ``match``,
+``mapping``, ``mapped``, ``translate``, ``resolve``, ``fuse``, ...) gets
+an :class:`OperatorSignature` declaring — *without executing anything* —
+which attributes and :class:`~repro.model.schema.DataType`\\ s the stage
+consumes from its input schema, what schema it emits, and which ``TC``
+rules guard the boundary.  The checker in
+:mod:`repro.analysis.typecheck.checker` walks the plan's dataflow
+topology and dispatches each node to its signature, threading inferred
+schemas stage to stage.
+
+Signatures are duck-typed like the plan validator: they read declared
+structure (plans, schemas, probe mappings) and never touch live data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.analysis.typecheck.rules import TYPECHECK_RULES
+from repro.fusion.strategies import STRATEGY_VALUE_DOMAINS
+from repro.model.schema import (
+    Coercibility,
+    DataType,
+    Schema,
+    static_coercibility,
+)
+from repro.resolution.comparison import MEASURE_DOMAINS, TRANSIENT_DTYPES
+
+__all__ = ["CheckContext", "OperatorSignature", "SIGNATURES", "tc"]
+
+
+def tc(
+    rule: str,
+    artifact: str,
+    node: str,
+    message: str,
+    fix_hint: str = "",
+    severity: Severity | None = None,
+) -> Diagnostic:
+    """A ``TC`` diagnostic with the catalogue severity (overridable)."""
+    registered = TYPECHECK_RULES[rule]
+    return Diagnostic(
+        rule,
+        severity or registered.severity,
+        Location(artifact, node=node),
+        message,
+        fix_hint,
+    )
+
+
+@dataclass
+class CheckContext:
+    """Everything a signature may consult while checking one plan.
+
+    ``source_schemas`` and ``mappings`` are the probe artifacts (keyed by
+    source name); ``produced`` is the set of target attributes at least
+    one selected source's mapping populates, and ``coverage_complete``
+    records whether *every* selected source contributed a mapping — the
+    produced-attribute rules (TC007/TC009) only fire when it did, so a
+    missing probe degrades to silence, never to a false alarm.
+    """
+
+    plan: Any = None
+    target_schema: Any = None
+    source_schemas: Mapping[str, Any] = field(default_factory=dict)
+    mappings: Mapping[str, Any] = field(default_factory=dict)
+    registry_names: frozenset[str] = frozenset()
+    date_attribute: str | None = None
+    comparators: Sequence[Any] = ()
+    produced: frozenset[str] = frozenset()
+    coverage_complete: bool = False
+
+    @property
+    def planned_sources(self) -> tuple[str, ...]:
+        return tuple(getattr(self.plan, "sources", ()) or ())
+
+    def target_dtype(self, name: str) -> DataType | None:
+        schema = self.target_schema
+        attribute = schema.get(name) if schema is not None else None
+        return attribute.dtype if attribute is not None else None
+
+
+@dataclass(frozen=True)
+class OperatorSignature:
+    """One dataflow node kind's static contract.
+
+    ``check`` returns the diagnostics for one node of this kind;
+    ``infer`` returns the schema the node emits (``None`` when the node
+    carries control state rather than a table).  Both receive the
+    context, the node's qualifying suffix (the source name for per-source
+    nodes), and the schema inferred for the node's table-bearing input.
+    """
+
+    kind: str
+    stage: str
+    consumes: str
+    produces: str
+    rules: tuple[str, ...] = ()
+    check: Callable[
+        [CheckContext, str | None, Any], list[Diagnostic]
+    ] = lambda ctx, sub, input_schema: []
+    infer: Callable[
+        [CheckContext, str | None, Any], Any
+    ] = lambda ctx, sub, input_schema: None
+
+
+# -- per-kind checks ------------------------------------------------------
+
+
+def _check_acquire(
+    ctx: CheckContext, sub: str | None, input_schema: Any
+) -> list[Diagnostic]:
+    if sub is None or sub not in ctx.planned_sources:
+        return []
+    if sub in ctx.source_schemas:
+        return []
+    return [
+        tc(
+            "TC001",
+            "extraction",
+            sub,
+            f"selected source {sub!r} has no statically inferable schema: "
+            "type checks for its mapping chain are suppressed",
+            "probe the source (or pass its schema) before type checking",
+        )
+    ]
+
+
+def _infer_acquire(
+    ctx: CheckContext, sub: str | None, input_schema: Any
+) -> Any:
+    return ctx.source_schemas.get(sub) if sub is not None else None
+
+
+def _check_match(
+    ctx: CheckContext, sub: str | None, input_schema: Any
+) -> list[Diagnostic]:
+    """TC003: matched attribute pairs whose DataTypes can never coerce."""
+    mapping = ctx.mappings.get(sub) if sub is not None else None
+    schema = input_schema if input_schema is not None else (
+        ctx.source_schemas.get(sub) if sub is not None else None
+    )
+    if mapping is None or schema is None or ctx.target_schema is None:
+        return []
+    findings = []
+    for attribute_map in getattr(mapping, "attribute_maps", ()):
+        source_attr = schema.get(attribute_map.source)
+        target_attr = ctx.target_schema.get(attribute_map.target)
+        if source_attr is None or target_attr is None:
+            continue  # TC002's business at the mapping node
+        if getattr(attribute_map, "transform", None) is not None:
+            continue  # the transform rewrites the type: TC004's business
+        verdict = static_coercibility(source_attr.dtype, target_attr.dtype)
+        if verdict is Coercibility.NEVER:
+            findings.append(
+                tc(
+                    "TC003",
+                    "matching",
+                    f"{sub}.{attribute_map.source}->{attribute_map.target}",
+                    f"matched {sub}.{attribute_map.source} "
+                    f"({source_attr.dtype.value}) to "
+                    f"{attribute_map.target} ({target_attr.dtype.value}): "
+                    "these DataTypes never coerce, every mapped value "
+                    "would fail type inference",
+                    "drop the correspondence or add a converting transform",
+                )
+            )
+    return findings
+
+
+def _check_mapping(
+    ctx: CheckContext, sub: str | None, input_schema: Any
+) -> list[Diagnostic]:
+    """TC002 (reads missing attribute) and TC004 (transform types)."""
+    mapping = ctx.mappings.get(sub) if sub is not None else None
+    schema = input_schema if input_schema is not None else (
+        ctx.source_schemas.get(sub) if sub is not None else None
+    )
+    if mapping is None:
+        return []
+    findings = []
+    for attribute_map in getattr(mapping, "attribute_maps", ()):
+        source_dtype: DataType | None = None
+        if schema is not None:
+            source_attr = schema.get(attribute_map.source)
+            if source_attr is None:
+                findings.append(
+                    tc(
+                        "TC002",
+                        "mapping",
+                        f"{sub}.{attribute_map.source}",
+                        f"mapping for {sub!r} reads attribute "
+                        f"{attribute_map.source!r} absent from the inferred "
+                        f"source schema "
+                        f"(has: {sorted(schema.names)}); the mapped "
+                        f"{attribute_map.target!r} column would be "
+                        "all-missing",
+                        "re-match the source or fix the attribute name",
+                    )
+                )
+                continue
+            source_dtype = source_attr.dtype
+        findings.extend(
+            _check_transform(ctx, sub, attribute_map, source_dtype)
+        )
+    return findings
+
+
+def _check_transform(
+    ctx: CheckContext,
+    sub: str | None,
+    attribute_map: Any,
+    source_dtype: DataType | None,
+) -> list[Diagnostic]:
+    transform = getattr(attribute_map, "transform", None)
+    if transform is None:
+        return []
+    name = getattr(transform, "name", None) or getattr(
+        transform, "__name__", "transform"
+    )
+    node = f"{sub}.{attribute_map.source}->{attribute_map.target}"
+    findings = []
+    input_dtypes = getattr(transform, "input_dtypes", None)
+    if (
+        source_dtype is not None
+        and input_dtypes is not None
+        and source_dtype not in input_dtypes
+    ):
+        findings.append(
+            tc(
+                "TC004",
+                "mapping",
+                node,
+                f"transform {name!r} applied to "
+                f"{sub}.{attribute_map.source} ({source_dtype.value}) but "
+                "its declared input domain is "
+                f"{sorted(d.value for d in input_dtypes)}",
+                "pick a transform whose domain covers the source type",
+            )
+        )
+    output_dtype = getattr(transform, "output_dtype", None)
+    target_dtype = ctx.target_dtype(attribute_map.target)
+    if (
+        output_dtype is not None
+        and target_dtype is not None
+        and static_coercibility(output_dtype, target_dtype)
+        is Coercibility.NEVER
+    ):
+        findings.append(
+            tc(
+                "TC004",
+                "mapping",
+                node,
+                f"transform {name!r} produces {output_dtype.value} values "
+                f"but target {attribute_map.target!r} needs "
+                f"{target_dtype.value}, which they never coerce to",
+                "use a transform producing the target's type",
+            )
+        )
+    return findings
+
+
+def _infer_target(ctx: CheckContext, sub: str | None, input_schema: Any) -> Any:
+    return ctx.target_schema
+
+
+def _passthrough(ctx: CheckContext, sub: str | None, input_schema: Any) -> Any:
+    return input_schema
+
+
+def _check_resolve(
+    ctx: CheckContext, sub: str | None, input_schema: Any
+) -> list[Diagnostic]:
+    """TC005/TC006: ER comparison keys against the resolved schema."""
+    schema = input_schema if input_schema is not None else ctx.target_schema
+    if schema is None:
+        return []
+    findings = []
+    for name in getattr(ctx.plan, "er_attributes", ()) or ():
+        attribute = schema.get(name)
+        if attribute is None:
+            findings.append(
+                tc(
+                    "TC005",
+                    "resolution",
+                    name,
+                    f"ER comparison keyed on attribute {name!r} absent from "
+                    f"the resolved schema (has: {sorted(schema.names)})",
+                    "key comparisons on attributes the translation emits",
+                )
+            )
+        elif attribute.dtype in TRANSIENT_DTYPES:
+            findings.append(
+                tc(
+                    "TC006",
+                    "resolution",
+                    name,
+                    f"ER comparison keyed on transient attribute {name!r} "
+                    f"({attribute.dtype.value}): URL/DATE/CURRENCY values "
+                    "name the observation, not the entity",
+                    "exclude transient attributes from identity evidence",
+                )
+            )
+    for comparator in ctx.comparators:
+        fields = getattr(comparator, "fields", None)
+        if fields is None and hasattr(comparator, "attribute"):
+            fields = (comparator,)
+        for comparator_field in fields or ():
+            name = getattr(comparator_field, "attribute", None)
+            measure = getattr(comparator_field, "measure", None)
+            if name is None:
+                continue
+            attribute = schema.get(name)
+            if attribute is None:
+                findings.append(
+                    tc(
+                        "TC005",
+                        "resolution",
+                        name,
+                        f"field comparator reads attribute {name!r} absent "
+                        f"from the resolved schema "
+                        f"(has: {sorted(schema.names)})",
+                        "compare attributes the translation emits",
+                    )
+                )
+                continue
+            domain = MEASURE_DOMAINS.get(measure) if measure else None
+            if domain is not None and attribute.dtype not in domain:
+                findings.append(
+                    tc(
+                        "TC006",
+                        "resolution",
+                        f"{name}:{measure}",
+                        f"measure {measure!r} on attribute {name!r} "
+                        f"({attribute.dtype.value}) is outside its domain "
+                        f"{sorted(d.value for d in domain)}: it scores 0.0 "
+                        "on every pair",
+                        "pick a measure whose domain covers the type",
+                    )
+                )
+    return findings
+
+
+def _check_fuse(
+    ctx: CheckContext, sub: str | None, input_schema: Any
+) -> list[Diagnostic]:
+    """TC007/TC008/TC009: fusion configuration against produced attrs."""
+    schema = input_schema if input_schema is not None else ctx.target_schema
+    findings = []
+    overrides = dict(getattr(ctx.plan, "fusion_overrides", None) or {})
+    if ctx.coverage_complete:
+        for attribute in sorted(overrides):
+            if (
+                schema is not None
+                and attribute in schema
+                and attribute not in ctx.produced
+            ):
+                findings.append(
+                    tc(
+                        "TC007",
+                        "fusion",
+                        f"fusion_overrides.{attribute}",
+                        f"fusion override for {attribute!r} can never take "
+                        "effect: no mapping of any selected source produces "
+                        "that attribute",
+                        "drop the override or re-match the sources",
+                    )
+                )
+        recency_in_play = (
+            getattr(ctx.plan, "fusion_strategy", None) == "recent"
+            or "recent" in overrides.values()
+        )
+        if (
+            recency_in_play
+            and ctx.date_attribute is not None
+            and schema is not None
+            and ctx.date_attribute in schema
+            and ctx.date_attribute not in ctx.produced
+        ):
+            # Warning, not error: recency fusion degrades to default
+            # recency (every claim ties) rather than breaking.
+            findings.append(
+                tc(
+                    "TC007",
+                    "fusion",
+                    f"date_attribute.{ctx.date_attribute}",
+                    f"recency attribute {ctx.date_attribute!r} is produced "
+                    "by no mapping of any selected source: every claim ties "
+                    "at default recency",
+                    "map a source date column or drop date_attribute",
+                    severity=Severity.WARNING,
+                )
+            )
+    strategy = getattr(ctx.plan, "fusion_strategy", None)
+    domain = STRATEGY_VALUE_DOMAINS.get(strategy) if strategy else None
+    if domain is not None and schema is not None:
+        in_scope = [
+            a.name
+            for a in schema
+            if not a.name.startswith("_")
+            and a.name not in overrides
+            and a.dtype in domain
+        ]
+        if not in_scope:
+            findings.append(
+                tc(
+                    "TC008",
+                    "fusion",
+                    "fusion_strategy",
+                    f"default strategy {strategy!r} requires "
+                    f"{sorted(d.value for d in domain)} values but no "
+                    "non-overridden target attribute has such a type",
+                    "pick a type-agnostic default strategy",
+                )
+            )
+    if strategy == "recent" and ctx.date_attribute is not None:
+        dtype = ctx.target_dtype(ctx.date_attribute)
+        if dtype is not None and dtype is not DataType.DATE:
+            findings.append(
+                tc(
+                    "TC008",
+                    "fusion",
+                    f"date_attribute.{ctx.date_attribute}",
+                    f"recency fusion keyed on {ctx.date_attribute!r} "
+                    f"({dtype.value}): recency needs a DATE attribute",
+                    "key recency on a DATE column",
+                )
+            )
+    if ctx.coverage_complete and ctx.target_schema is not None:
+        for attribute in ctx.target_schema:
+            if (
+                attribute.required
+                and not attribute.name.startswith("_")
+                and attribute.name not in ctx.produced
+            ):
+                findings.append(
+                    tc(
+                        "TC009",
+                        "fusion",
+                        attribute.name,
+                        f"required attribute {attribute.name!r} is produced "
+                        "by no mapping of any selected source: the wrangled "
+                        "column will be entirely missing",
+                        "add a source covering it or relax the requirement",
+                    )
+                )
+    return findings
+
+
+def _infer_empty(ctx: CheckContext, sub: str | None, input_schema: Any) -> Any:
+    return Schema(())
+
+
+#: The registry: dataflow node-name prefix -> signature.  Node names are
+#: ``kind`` or ``kind:source`` (the wrangler's convention), so dispatch
+#: is on the prefix before ``:``.
+SIGNATURES: Mapping[str, OperatorSignature] = {
+    sig.kind: sig
+    for sig in (
+        OperatorSignature(
+            "probe",
+            "probe",
+            consumes="registered source samples",
+            produces="probe artifacts (no table)",
+        ),
+        OperatorSignature(
+            "plan",
+            "planning",
+            consumes="probe artifacts + contexts",
+            produces="a WranglePlan (no table)",
+        ),
+        OperatorSignature(
+            "acquire",
+            "extraction",
+            consumes="one registered source's raw rows",
+            produces="the source's own schema",
+            rules=("TC001",),
+            check=_check_acquire,
+            infer=_infer_acquire,
+        ),
+        OperatorSignature(
+            "match",
+            "matching",
+            consumes="the source schema + target schema",
+            produces="the source schema (correspondences ride alongside)",
+            rules=("TC003",),
+            check=_check_match,
+            infer=_passthrough,
+        ),
+        OperatorSignature(
+            "mapping",
+            "mapping",
+            consumes="correspondences for one source",
+            produces="an executable Mapping (no table)",
+            rules=("TC002", "TC004"),
+            check=_check_mapping,
+        ),
+        OperatorSignature(
+            "mapped",
+            "mapping",
+            consumes="one source table + its mapping",
+            produces="the target schema",
+            infer=_infer_target,
+        ),
+        OperatorSignature(
+            "quality",
+            "quality",
+            consumes="one mapped table",
+            produces="quality report (no table)",
+        ),
+        OperatorSignature(
+            "select",
+            "selection",
+            consumes="quality reports + plan",
+            produces="the selected source names (no table)",
+        ),
+        OperatorSignature(
+            "translate",
+            "mapping",
+            consumes="all selected mapped tables",
+            produces="the target schema (union of mapped rows)",
+            infer=_infer_target,
+        ),
+        OperatorSignature(
+            "resolve",
+            "resolution",
+            consumes="ER comparison attributes of the translated table",
+            produces="the target schema (clustered rows)",
+            rules=("TC005", "TC006"),
+            check=_check_resolve,
+            infer=_passthrough,
+        ),
+        OperatorSignature(
+            "fuse",
+            "fusion",
+            consumes="strategy-specific attribute values per cluster",
+            produces="the target schema (one row per entity)",
+            rules=("TC007", "TC008", "TC009"),
+            check=_check_fuse,
+            infer=_passthrough,
+        ),
+        OperatorSignature(
+            "repair",
+            "repair",
+            consumes="the fused table + feedback",
+            produces="the target schema (repaired rows)",
+            infer=_passthrough,
+        ),
+        OperatorSignature(
+            "input",
+            "input",
+            consumes="an externally set value",
+            produces="whatever was set (no static schema)",
+        ),
+    )
+}

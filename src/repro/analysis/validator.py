@@ -275,7 +275,7 @@ class PlanValidator:
                         "PV007",
                         Severity.ERROR,
                         "plan",
-                        attribute,
+                        f"fusion_overrides.{attribute}",
                         f"fusion override for {attribute!r} names unknown "
                         f"strategy {override!r}",
                         "pick one of the registered strategies",
@@ -287,7 +287,7 @@ class PlanValidator:
                         "PV007",
                         Severity.ERROR,
                         "plan",
-                        attribute,
+                        f"fusion_overrides.{attribute}",
                         f"fusion override targets attribute {attribute!r} "
                         "absent from the target schema",
                         "drop the override or fix the attribute name",
@@ -301,7 +301,7 @@ class PlanValidator:
                             "PV007",
                             Severity.WARNING,
                             "plan",
-                            attribute,
+                            f"fusion_overrides.{attribute}",
                             f"median fusion on non-numeric attribute "
                             f"{attribute!r} ({attr.dtype.value}) degrades to "
                             "majority vote",
@@ -482,7 +482,7 @@ class PlanValidator:
                             "PV006",
                             Severity.ERROR,
                             "mapping",
-                            source_name,
+                            f"{source_name}.{attribute_map.target}",
                             f"attribute map {attribute_map.target!r} has "
                             f"confidence {attribute_map.confidence!r} outside "
                             "[0, 1]",
@@ -498,7 +498,7 @@ class PlanValidator:
                             "PV004",
                             Severity.ERROR,
                             "mapping",
-                            source_name,
+                            f"{source_name}.{attribute_map.target}",
                             f"mapping produces {attribute_map.target!r} which "
                             "is not in the target schema",
                             "align the mapping with the user context's schema",
@@ -510,7 +510,7 @@ class PlanValidator:
                             "PV004",
                             Severity.ERROR,
                             "mapping",
-                            source_name,
+                            f"{source_name}.{attribute_map.source}",
                             f"mapping reads {attribute_map.source!r} which "
                             f"source {source_name!r} does not provide "
                             f"(schema: {sorted(a.name for a in schema)})",

@@ -46,6 +46,9 @@ class _Node:
     hits: int = 0
     invalidations: int = 0
     seconds: float = 0.0
+    #: Purity certificate for the compute callable ("pure" / "impure" /
+    #: "unknown"), or ``None`` before :meth:`Dataflow.certify` has run.
+    purity: str | None = None
 
 
 class Dataflow:
@@ -60,6 +63,10 @@ class Dataflow:
         #: regression guard for pull_all's single-sweep contract).
         self.topo_derivations = 0
         self.telemetry = telemetry
+        #: When True, the engine refuses to replay memoised values of
+        #: nodes not certified ``pure``: every pull recomputes them.
+        #: Certify with :meth:`certify` before enabling.
+        self.strict_purity = False
 
     # -- construction -----------------------------------------------------
 
@@ -171,7 +178,7 @@ class Dataflow:
         """Recompute the dirty nodes among ``names`` (topological order)."""
         for name in names:
             node = self._nodes[name]
-            if not node.clean:
+            if not (node.clean and self._replayable(node)):
                 self._recompute(node)
 
     def pull(self, name: str) -> Any:
@@ -183,7 +190,7 @@ class Dataflow:
         made full refreshes quadratic before.
         """
         node = self._require(name)
-        if node.clean:
+        if node.clean and self._replayable(node):
             node.hits += 1
             self._count("dataflow.hits")
             return node.value
@@ -202,7 +209,7 @@ class Dataflow:
         """
         for name in self._topo_order():
             node = self._nodes[name]
-            if node.clean:
+            if node.clean and self._replayable(node):
                 node.hits += 1
                 self._count("dataflow.hits")
             else:
@@ -211,6 +218,51 @@ class Dataflow:
     def _count(self, metric: str) -> None:
         if self.telemetry is not None:
             self.telemetry.metrics.counter(metric).increment()
+
+    def _replayable(self, node: _Node) -> bool:
+        """Whether a clean node's memoised value may be handed out.
+
+        Always, unless :attr:`strict_purity` is on — then only nodes
+        certified ``pure`` replay; everything else recomputes on every
+        pull.  Input nodes are exempt: they hold externally supplied
+        state, there is no computation to re-run.
+        """
+        if not self.strict_purity or not node.dependencies:
+            return True
+        return node.purity == "pure"
+
+    # -- purity certification ---------------------------------------------
+
+    def certify(self, analyser: Any = None) -> dict[str, Any]:
+        """Certify every node's compute callable and record the verdicts.
+
+        Uses the AST-based
+        :class:`~repro.analysis.typecheck.purity.PurityAnalyser` (an
+        instance may be passed in to share its caches across dataflows).
+        Each node's ``purity`` field is set to the verdict status, so
+        :attr:`strict_purity` and telemetry exports can act on it.
+        Returns ``{node name: PurityVerdict}``.
+        """
+        if analyser is None:
+            from repro.analysis.typecheck.purity import PurityAnalyser
+
+            analyser = PurityAnalyser()
+        verdicts = {}
+        for name, node in self._nodes.items():
+            verdict = analyser.analyse(node.compute)
+            node.purity = verdict.status
+            verdicts[name] = verdict
+        return verdicts
+
+    def purity_map(self) -> dict[str, str | None]:
+        """Every node's recorded purity verdict (``None`` = uncertified)."""
+        return {name: node.purity for name, node in self._nodes.items()}
+
+    def node_callables(self) -> list[tuple[str, Callable[..., Any]]]:
+        """Every node's compute callable — the purity analyser's view."""
+        return [
+            (name, node.compute) for name, node in self._nodes.items()
+        ]
 
     # -- introspection ----------------------------------------------------
 
@@ -268,6 +320,7 @@ class Dataflow:
                 "seconds": node.seconds,
                 "stage": node.stage,
                 "clean": node.clean,
+                "purity": node.purity,
             }
             for name, node in self._nodes.items()
         }

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.context.data_context import DataContext
 from repro.context.user_context import UserContext
 from repro.model.annotations import AnnotationStore, Dimension
+from repro.resolution.comparison import TRANSIENT_DTYPES
 from repro.selection.source_selection import SourceSelector
 from repro.sources.registry import SourceRegistry
 
@@ -44,6 +45,9 @@ class WranglePlan:
     er_threshold: float
     fusion_strategy: str
     fusion_overrides: dict[str, str] = field(default_factory=dict)
+    #: Target attributes entity resolution compares on; empty means "let
+    #: the comparator derive its own set from the schema".
+    er_attributes: tuple[str, ...] = ()
     run_repair: bool = True
     rationale: list[str] = field(default_factory=list)
 
@@ -167,6 +171,17 @@ class AutonomicPlanner:
                 f"errors): {', '.join(sorted(overrides))}"
             )
 
+        # ER comparison keys, declared explicitly so the static type
+        # checker can certify them against the translated schema: every
+        # non-lineage, non-transient target attribute (URL/DATE/CURRENCY
+        # name the observation, not the entity).
+        er_attributes = tuple(
+            attribute.name
+            for attribute in user.target_schema
+            if not attribute.name.startswith("_")
+            and attribute.dtype not in TRANSIENT_DTYPES
+        )
+
         # 5. Repair: on unless the user explicitly discounts consistency.
         run_repair = user.weight(Dimension.CONSISTENCY) > 0.0 or bool(user.floors)
         rationale.append(
@@ -181,6 +196,7 @@ class AutonomicPlanner:
             er_threshold=er_threshold,
             fusion_strategy=strategy,
             fusion_overrides=overrides,
+            er_attributes=er_attributes,
             run_repair=run_repair,
             rationale=rationale,
         )

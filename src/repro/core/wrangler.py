@@ -168,6 +168,12 @@ class Wrangler:
                 mapping = Mapping.from_correspondences(
                     name, self.user.target_schema, correspondences
                 )
+                # File the statically usable probe artifacts: the schema
+                # the sample exposed and the bootstrap mapping.  The
+                # pre-execution type checker reads these to thread
+                # schemas through the plan without touching any source.
+                self.working.put("schema", f"probe/{name}", sample.schema)
+                self.working.put("mapping", f"probe/{name}", mapping)
                 mapped = Mapping(
                     sample.name, mapping.target_schema, mapping.attribute_maps
                 ).apply(sample)
@@ -329,7 +335,11 @@ class Wrangler:
         return translated
 
     def _resolve(self, translated: Table, plan: WranglePlan):
-        comparator = profiled_comparator(self.user.target_schema, translated)
+        comparator = profiled_comparator(
+            self.user.target_schema,
+            translated,
+            attributes=list(plan.er_attributes) or None,
+        )
         rule = ThresholdRule(plan.er_threshold)
         similarities, vectors, labels = self._er_labelled_pairs(
             translated, comparator
@@ -497,31 +507,55 @@ class Wrangler:
     # -- dataflow assembly ----------------------------------------------------
 
     def _compose_plan(self) -> WranglePlan:
-        """Run the planner, then statically validate its output.
+        """Run the planner, then statically gate its output.
 
-        Every ``wrangle`` run gets a pre-flight check: the composed plan,
-        the user/data contexts, and the dataflow topology are handed to
-        the :class:`~repro.analysis.validator.PlanValidator` before any
-        source is accessed.  Error-severity findings raise
+        Every ``wrangle`` run gets a pre-execution check: structure
+        validation (``PV0xx``), schema-flow type checking over the probe
+        artifacts (``TC001``–``TC009``), and node purity certification
+        (``TC010``) run as one gate — see
+        :func:`repro.analysis.typecheck.run_preflight` — before any
+        source is fully accessed.  Error-severity findings raise
         :class:`~repro.errors.PlanValidationError`; construct the
-        Wrangler with ``validate=False`` to skip the check.
+        Wrangler with ``validate=False`` to skip the gate.
         """
         plan = self.planner.plan(
             self.user, self.data, self.registry, self.working.annotations
         )
         if self.validate:
-            from repro.analysis.validator import PlanValidator
-
-            PlanValidator().validate(
-                plan=plan,
-                user=self.user,
-                data=self.data,
-                registry=self.registry,
-                dataflow=self._flow,
-                master_key=self.master_key,
-                date_attribute=self.date_attribute,
-            ).raise_on_error()
+            self._gate(plan).raise_on_error()
         return plan
+
+    def _gate(self, plan: WranglePlan):
+        """The combined static gate for one composed plan."""
+        from repro.analysis.typecheck import run_preflight
+
+        return run_preflight(
+            plan=plan,
+            user=self.user,
+            data=self.data,
+            registry=self.registry,
+            dataflow=self._flow,
+            working=self.working,
+            master_key=self.master_key,
+            date_attribute=self.date_attribute,
+        )
+
+    def preflight(self):
+        """The full static gate's report, without executing the pipeline.
+
+        Probes the sources (the cheap sample pass) and composes a plan,
+        then runs structure validation, schema-flow type checking, and
+        purity certification over it.  Returns the
+        :class:`~repro.analysis.validator.ValidationReport` instead of
+        raising, so callers (e.g. ``python -m repro.analysis.typecheck``)
+        can render every finding.
+        """
+        flow = self.flow
+        flow.pull("probe")
+        plan = self.planner.plan(
+            self.user, self.data, self.registry, self.working.annotations
+        )
+        return self._gate(plan)
 
     def _build_flow(self) -> Dataflow:
         flow = Dataflow(telemetry=self.telemetry)
@@ -629,8 +663,30 @@ class Wrangler:
 
     # -- running ----------------------------------------------------------
 
-    def run(self) -> WrangleResult:
-        """Execute (or incrementally refresh) the pipeline."""
+    def run(self, validate: bool | None = None) -> WrangleResult:
+        """Execute (or incrementally refresh) the pipeline.
+
+        ``validate`` overrides the wrangler's standing :attr:`validate`
+        flag for this run only.  ``run(validate=True)`` guarantees the
+        full pre-execution gate — structure validation, schema-flow type
+        checking, purity certification — runs against the plan this run
+        executes, even when the plan node is already memoised (a fresh
+        composition would be gated inside ``_compose_plan`` anyway).
+        """
+        if validate is None:
+            return self._run()
+        previous = self.validate
+        self.validate = validate
+        try:
+            if validate:
+                flow = self.flow
+                if flow.is_clean("plan"):
+                    self._gate(flow.value("plan")).raise_on_error()
+            return self._run()
+        finally:
+            self.validate = previous
+
+    def _run(self) -> WrangleResult:
         flow = self.flow
         runs_before = flow.total_runs()
         with self.telemetry.tracer.span("wrangle.run") as run_span:

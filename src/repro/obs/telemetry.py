@@ -175,4 +175,7 @@ def validate_telemetry(payload: Any) -> list[str]:
             stage = stats.get("stage")
             if stage is not None and not isinstance(stage, str):
                 problems.append(f"{where}.stage: expected a string or null")
+            purity = stats.get("purity")
+            if purity is not None and not isinstance(purity, str):
+                problems.append(f"{where}.purity: expected a string or null")
     return problems

@@ -18,7 +18,15 @@ from repro.matching.similarity import (
 from repro.model.records import Record
 from repro.model.schema import DataType, Schema
 
-__all__ = ["FieldComparator", "RecordComparator", "default_comparator", "profiled_comparator", "geo_similarity"]
+__all__ = [
+    "FieldComparator",
+    "RecordComparator",
+    "MEASURE_DOMAINS",
+    "TRANSIENT_DTYPES",
+    "default_comparator",
+    "profiled_comparator",
+    "geo_similarity",
+]
 
 
 def geo_similarity(a: object, b: object, scale_degrees: float = 0.05) -> float:
@@ -69,6 +77,32 @@ def _is_number(value: object) -> bool:
         return True
     except (TypeError, ValueError):
         return False
+
+
+#: The DataTypes each measure is meaningful on (``None`` = any type: the
+#: string measures stringify their operands).  The static type checker
+#: flags comparators whose measure cannot interpret the attribute's type —
+#: ``numeric`` on a GEO column silently scores 0.0 at runtime, which is a
+#: configuration defect, not evidence.
+MEASURE_DOMAINS: dict[str, frozenset[DataType] | None] = {
+    "jaro": None,
+    "levenshtein": None,
+    "jaccard": None,
+    "tokens": None,
+    "tokens_strict": None,
+    "exact": None,
+    "numeric": frozenset(
+        {DataType.INTEGER, DataType.FLOAT, DataType.CURRENCY}
+    ),
+    "geo": frozenset({DataType.GEO, DataType.STRING}),
+}
+
+#: Attribute types excluded from identity comparison: a URL names the
+#: offer at one source, a DATE the observation, a CURRENCY amount the
+#: measurement — the paper's "highly transient information" (Section 3.1).
+TRANSIENT_DTYPES = frozenset(
+    {DataType.URL, DataType.DATE, DataType.CURRENCY}
+)
 
 
 @dataclass(frozen=True)
@@ -165,8 +199,7 @@ def default_comparator(
     names = list(attributes) if attributes is not None else [
         a.name
         for a in schema
-        if not a.name.startswith("_")
-        and a.dtype not in (DataType.URL, DataType.DATE, DataType.CURRENCY)
+        if not a.name.startswith("_") and a.dtype not in TRANSIENT_DTYPES
     ]
     fields = []
     for name in names:
@@ -205,8 +238,7 @@ def profiled_comparator(
     names = list(attributes) if attributes is not None else [
         a.name
         for a in schema
-        if not a.name.startswith("_")
-        and a.dtype not in (DataType.URL, DataType.DATE, DataType.CURRENCY)
+        if not a.name.startswith("_") and a.dtype not in TRANSIENT_DTYPES
     ]
     distinctness: dict[str, float] = {}
     for name in names:

@@ -294,6 +294,38 @@ class TestRep011ClockReadsViaObs:
         assert "REP011" not in rule_ids(result)
 
 
+class TestRep012UnknownNoqaRule:
+    def test_unknown_rule_id_warns(self):
+        result = lint_source("x = 1  # repro: noqa[REP999]\n")
+        assert "REP012" in rule_ids(result)
+        (finding,) = [d for d in result.diagnostics if d.rule == "REP012"]
+        assert finding.severity is Severity.WARNING
+        assert "REP999" in finding.message
+        assert finding.location.line == 1
+
+    def test_typoed_rule_in_a_list_warns(self):
+        # One valid id, one typo: the pragma silently half-works — the
+        # exact failure mode REP012 exists to surface.
+        result = lint_source(
+            "assert x  # repro: noqa[REP001, REP01]\n"
+        )
+        assert "REP012" in rule_ids(result)
+        assert "REP001" not in rule_ids(result)  # valid half still works
+
+    def test_known_rule_ids_are_silent(self):
+        result = lint_source("x = 1  # repro: noqa[REP001]\n")
+        assert "REP012" not in rule_ids(result)
+
+    def test_blanket_noqa_is_silent(self):
+        result = lint_source("x = 1  # repro: noqa\n")
+        assert "REP012" not in rule_ids(result)
+
+    def test_suppressing_rep012_itself(self):
+        result = lint_source("x = 1  # repro: noqa[REP999, REP012]\n")
+        assert "REP012" not in rule_ids(result)
+        assert result.suppressed == 1
+
+
 class TestSuppressionSyntax:
     def test_blanket_noqa_suppresses_all_rules(self):
         result = lint_source("assert print('x')  # repro: noqa\n")

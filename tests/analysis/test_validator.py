@@ -122,7 +122,10 @@ class TestFusionChecks:
         report = validate_plan(
             plan=good_plan(fusion_overrides={"price": "bogus"})
         )
-        assert fired(report, "PV007")
+        findings = fired(report, "PV007")
+        assert findings
+        # Override findings name the exact override, not just the plan.
+        assert findings[0].location.node == "fusion_overrides.price"
 
     def test_override_on_unknown_attribute_pv007(self):
         report = validate_plan(
@@ -218,12 +221,15 @@ class TestMappingChecks:
         (finding,) = fired(report, "PV004")
         assert finding.severity is Severity.ERROR
         assert "cost" in finding.message
+        # The finding names the offending attribute, not just the source.
+        assert finding.location.node == "shop.cost"
 
     def test_mapping_produces_unknown_target_pv004(self):
         mapping = Mapping("shop", TARGET, (AttributeMap("colour", "product"),))
         report = validate_plan(mappings=[mapping])
         (finding,) = fired(report, "PV004")
         assert "colour" in finding.message
+        assert finding.location.node == "shop.colour"
 
     def test_out_of_range_mapping_confidence_pv006(self):
         mapping = Mapping(
@@ -235,6 +241,7 @@ class TestMappingChecks:
         report = validate_plan(mappings=[mapping])
         findings = fired(report, "PV006")
         assert len(findings) == 2  # mapping-level and attribute-level
+        assert {d.location.node for d in findings} == {"shop", "shop.price"}
 
     def test_consistent_mapping_clean(self):
         mapping = Mapping("shop", TARGET, (AttributeMap("price", "price"),))

@@ -7,11 +7,13 @@ import pytest
 from repro.errors import SchemaError, TypeInferenceError
 from repro.model.schema import (
     Attribute,
+    Coercibility,
     DataType,
     Schema,
     coerce,
     infer_column_type,
     infer_type,
+    static_coercibility,
 )
 
 
@@ -113,6 +115,132 @@ class TestCoerce:
     def test_bool_not_coercible_to_int(self):
         with pytest.raises(TypeInferenceError):
             coerce(True, DataType.INTEGER)
+
+
+#: For every DataType: a canonical native value, a string literal that
+#: coerces to it, and a value that must fail coercion.
+ROUND_TRIPS = {
+    DataType.STRING: ("hello", "hello", None),
+    DataType.INTEGER: (42, "42", "forty-two"),
+    DataType.FLOAT: (3.25, "3.25", "three"),
+    DataType.BOOLEAN: (True, "yes", "perhaps"),
+    DataType.DATE: (datetime.date(2016, 3, 15), "2016-03-15", "someday"),
+    DataType.CURRENCY: (19.99, "$19.99", "priceless"),
+    DataType.URL: ("https://a.b/c", "https://a.b/c", "not a url"),
+    DataType.GEO: ((51.5, -0.12), "51.5, -0.12", "nowhere, really, at all"),
+}
+
+
+class TestCoerceRoundTrips:
+    """Every DataType member: native pass-through, string parse, failure."""
+
+    def test_every_member_is_covered(self):
+        assert set(ROUND_TRIPS) == set(DataType)
+
+    @pytest.mark.parametrize("dtype", list(DataType), ids=lambda d: d.value)
+    def test_native_value_round_trips(self, dtype):
+        native, _, _ = ROUND_TRIPS[dtype]
+        assert coerce(native, dtype) == native
+        # Coercion is idempotent: coercing the result again is a no-op.
+        assert coerce(coerce(native, dtype), dtype) == native
+
+    @pytest.mark.parametrize("dtype", list(DataType), ids=lambda d: d.value)
+    def test_string_literal_parses(self, dtype):
+        native, literal, _ = ROUND_TRIPS[dtype]
+        assert coerce(literal, dtype) == native
+
+    @pytest.mark.parametrize("dtype", list(DataType), ids=lambda d: d.value)
+    def test_inferred_type_coerces_to_itself(self, dtype):
+        _, literal, _ = ROUND_TRIPS[dtype]
+        inferred = infer_type(literal)
+        assert coerce(literal, inferred) is not None
+
+    @pytest.mark.parametrize(
+        "dtype",
+        [d for d in DataType if ROUND_TRIPS[d][2] is not None],
+        ids=lambda d: d.value,
+    )
+    def test_failure_path_raises_type_inference_error(self, dtype):
+        _, _, bad = ROUND_TRIPS[dtype]
+        with pytest.raises(TypeInferenceError):
+            coerce(bad, dtype)
+
+    @pytest.mark.parametrize("dtype", list(DataType), ids=lambda d: d.value)
+    def test_none_passes_through_every_type(self, dtype):
+        assert coerce(None, dtype) is None
+
+    def test_datetime_narrows_to_date(self):
+        stamp = datetime.datetime(2016, 3, 15, 12, 30)
+        assert coerce(stamp, DataType.DATE) == datetime.date(2016, 3, 15)
+
+    def test_currency_kilo_suffix(self):
+        assert coerce("$1.2k", DataType.CURRENCY) == pytest.approx(1200.0)
+
+    def test_geo_wrong_arity_fails(self):
+        with pytest.raises(TypeInferenceError):
+            coerce("1, 2, 3", DataType.GEO)
+
+
+class TestStaticCoercibility:
+    """The static mirror of coerce(): sound against the runtime."""
+
+    def test_identity_always(self):
+        for dtype in DataType:
+            assert static_coercibility(dtype, dtype) is Coercibility.ALWAYS
+
+    def test_everything_coerces_to_string(self):
+        for dtype in DataType:
+            assert (
+                static_coercibility(dtype, DataType.STRING)
+                is Coercibility.ALWAYS
+            )
+
+    def test_from_string_is_value_dependent(self):
+        assert (
+            static_coercibility(DataType.STRING, DataType.INTEGER)
+            is Coercibility.MAYBE
+        )
+
+    def test_numeric_widening_always(self):
+        assert (
+            static_coercibility(DataType.INTEGER, DataType.FLOAT)
+            is Coercibility.ALWAYS
+        )
+        assert (
+            static_coercibility(DataType.FLOAT, DataType.CURRENCY)
+            is Coercibility.ALWAYS
+        )
+
+    def test_currency_narrowing_maybe(self):
+        assert (
+            static_coercibility(DataType.CURRENCY, DataType.INTEGER)
+            is Coercibility.MAYBE
+        )
+
+    def test_disjoint_types_never(self):
+        assert (
+            static_coercibility(DataType.BOOLEAN, DataType.DATE)
+            is Coercibility.NEVER
+        )
+        assert (
+            static_coercibility(DataType.URL, DataType.GEO)
+            is Coercibility.NEVER
+        )
+
+    def test_always_verdicts_are_sound_against_runtime(self):
+        """ALWAYS means every well-typed native value must coerce."""
+        for src, (native, _, _) in ROUND_TRIPS.items():
+            for dst in DataType:
+                if static_coercibility(src, dst) is Coercibility.ALWAYS:
+                    assert coerce(native, dst) is not None
+
+    def test_never_verdicts_are_sound_against_runtime(self):
+        """NEVER means the canonical native value must fail to coerce."""
+        for src, (native, _, _) in ROUND_TRIPS.items():
+            for dst in DataType:
+                if static_coercibility(src, dst) is Coercibility.NEVER:
+                    with pytest.raises(TypeInferenceError):
+                        coerce(native, dst)
 
 
 class TestSchema:

@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-json typecheck bench-smoke check
+.PHONY: test lint lint-json typecheck bench-smoke chaos check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,4 +25,13 @@ bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_e10_repair.py -q -p no:cacheprovider
 	$(PYTHON) -m repro.obs.report benchmarks/results/E10-repair.telemetry.json --validate-only
 
-check: test lint typecheck bench-smoke
+# The chaos harness end to end: the resilience benchmark (seeded fault
+# injection through a full Wrangler.run), its telemetry schema-checked,
+# then REP013 over sources and tests — nothing outside repro.resilience
+# may sleep on the real clock.
+chaos:
+	$(PYTHON) -m pytest benchmarks/bench_e11_resilience.py -q -p no:cacheprovider
+	$(PYTHON) -m repro.obs.report benchmarks/results/E11-resilience.telemetry.json --validate-only
+	$(PYTHON) -m repro.analysis.lint src/repro tests benchmarks --select REP013
+
+check: test lint typecheck bench-smoke chaos

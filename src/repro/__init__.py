@@ -31,6 +31,12 @@ from repro.model import (
     Value,
     WorkingData,
 )
+from repro.resilience import (
+    ChaosSource,
+    FaultPlan,
+    RetryPolicy,
+    resilient,
+)
 from repro.sources import (
     CSVSource,
     JSONSource,
@@ -45,12 +51,14 @@ __all__ = [
     "AHPComparison",
     "AutonomicPlanner",
     "CSVSource",
+    "ChaosSource",
     "DataContext",
     "DataType",
     "Dataflow",
     "Dimension",
     "DuplicateFeedback",
     "ExtractionFeedback",
+    "FaultPlan",
     "FeedbackStore",
     "JSONSource",
     "MatchFeedback",
@@ -60,6 +68,7 @@ __all__ = [
     "Provenance",
     "Record",
     "RelevanceFeedback",
+    "RetryPolicy",
     "Schema",
     "SourceRegistry",
     "StaticETL",
@@ -72,4 +81,5 @@ __all__ = [
     "WrangleResult",
     "Wrangler",
     "__version__",
+    "resilient",
 ]

@@ -458,6 +458,7 @@ LAYER_RANKS: Mapping[str, int] = {
     "feedback": 5,
     "scale": 5,
     "datagen": 5,
+    "resilience": 6,
     "evaluation": 6,
     "baselines": 6,
     "analysis": 6,
@@ -727,3 +728,80 @@ def _check_unknown_noqa_rule(context: ModuleContext) -> Iterator[Diagnostic]:
                     "(nothing is suppressed)",
                     "fix the rule id or drop the pragma",
                 )
+
+
+# -- REP013 ---------------------------------------------------------------
+
+#: Layers allowed to physically wait: ``obs`` hosts the Clock's single
+#: real ``time.sleep``; ``resilience`` is the subsystem whose job *is*
+#: scheduled waiting (always spent through the Clock).
+_SLEEP_EXEMPT_LAYERS = {"obs", "resilience"}
+
+
+def _is_spin_loop(node: ast.While) -> bool:
+    """A loop whose body does nothing: the classic busy-wait."""
+    return all(
+        isinstance(statement, (ast.Pass, ast.Continue))
+        for statement in node.body
+    )
+
+
+@rule(
+    "REP013",
+    "no-raw-sleep",
+    Severity.ERROR,
+    "Extends REP011's clock discipline to waiting: `time.sleep` and "
+    "busy-wait spin loops are forbidden outside repro.resilience and the "
+    "Clock implementation in repro.obs — waiting goes through the "
+    "injected Clock's wait(), so a ManualClock makes every backoff "
+    "instantaneous and deterministic in tests.",
+)
+def _check_no_raw_sleep(context: ModuleContext) -> Iterator[Diagnostic]:
+    if context.layer in _SLEEP_EXEMPT_LAYERS:
+        return
+    time_aliases: set[str] = set()
+    sleep_names: set[str] = set()
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "time":
+                    time_aliases.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        sleep_names.add(alias.asname or "sleep")
+                        yield context.diagnostic(
+                            "REP013",
+                            Severity.ERROR,
+                            node,
+                            "`sleep` imported from `time` outside "
+                            "repro.resilience",
+                            "inject a repro.obs Clock and call wait() "
+                            "instead of sleeping for real",
+                        )
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "sleep"
+                and _attribute_root(func.value) in time_aliases
+            ) or (
+                isinstance(func, ast.Name) and func.id in sleep_names
+            ):
+                yield context.diagnostic(
+                    "REP013",
+                    Severity.ERROR,
+                    node,
+                    "wall-clock sleep outside repro.resilience",
+                    "inject a repro.obs Clock and call wait() instead",
+                )
+        elif isinstance(node, ast.While) and _is_spin_loop(node):
+            yield context.diagnostic(
+                "REP013",
+                Severity.ERROR,
+                node,
+                "busy-wait spin loop (body does nothing)",
+                "wait on the injected Clock, or on a real condition",
+            )

@@ -35,6 +35,21 @@ class WrangleResult:
     #: per-stage spans, dataflow hit/miss/timing stats, and every metric
     #: the components recorded.  ``None`` only when constructed by hand.
     telemetry: dict | None = None
+    #: The degradation ledger's export (see
+    #: :mod:`repro.resilience.ledger`): per-source physical attempts,
+    #: outcomes, breaker state, and final disposition.  ``None`` when the
+    #: wrangler runs without :meth:`~repro.core.wrangler.Wrangler.resilience`.
+    degradation: dict | None = None
+
+    def degraded_sources(self) -> list[str]:
+        """Sources that did not deliver data this run (ledger verdicts)."""
+        if not self.degradation:
+            return []
+        return sorted(
+            name
+            for name, entry in self.degradation.items()
+            if not entry.get("survived", True)
+        )
 
     @property
     def total_cost(self) -> float:
@@ -70,6 +85,21 @@ class WrangleResult:
             lines.append(
                 f"constraint repair: {len(self.repair.repairs)} cells modified "
                 f"at cost {self.repair.total_cost:.2f}"
+            )
+        if self.degradation:
+            degraded = self.degraded_sources()
+            attempts = sum(
+                len(entry.get("attempts", ()))
+                for entry in self.degradation.values()
+            )
+            lines.append(
+                f"resilience: {attempts} physical attempts over "
+                f"{len(self.degradation)} sources; "
+                + (
+                    f"degraded: {', '.join(degraded)}"
+                    if degraded
+                    else "all sources survived"
+                )
             )
         lines.append(f"quality: {self.quality.summary()}")
         lines.append(

@@ -21,7 +21,12 @@ from repro.context.user_context import UserContext
 from repro.core.dataflow import Dataflow
 from repro.core.planner import AutonomicPlanner, WranglePlan
 from repro.core.result import WrangleResult
-from repro.errors import DataflowError, PlanningError, WranglingError
+from repro.errors import (
+    DataflowError,
+    DegradedRunError,
+    PlanningError,
+    WranglingError,
+)
 from repro.model.annotations import Dimension, QualityAnnotation
 from repro.extraction.induction import ExampleAnnotation, auto_induce, induce_wrapper
 from repro.extraction.repair import WrapperRepairer
@@ -45,6 +50,12 @@ from repro.obs import Telemetry
 from repro.quality.constraints import Constraint
 from repro.quality.metrics import QualityAnalyser
 from repro.quality.repair import repair_table
+from repro.resilience import DegradationLedger, RetryPolicy, resilient
+from repro.resilience.policy import Deadline
+from repro.resilience.wrap import (
+    ResilientDocumentSource,
+    ResilientStructuredSource,
+)
 from repro.resolution.comparison import profiled_comparator
 from repro.resolution.er import EntityResolver
 from repro.resolution.rules import ThresholdRule, fit_threshold
@@ -99,6 +110,12 @@ class Wrangler:
             clock=self.telemetry.clock,
         )
         self._examples: dict[str, list[ExampleAnnotation]] = {}
+        #: Resilience configuration, set by :meth:`resilience`.  When a
+        #: policy is present every registered source is (and every future
+        #: source will be) wrapped, and the ledger records acquisition.
+        self._resilience_policy: RetryPolicy | None = None
+        self._quorum: float = 0.0
+        self.degradation: DegradationLedger | None = None
         self._flow: Dataflow | None = None
         self._match_evidence: dict[tuple[str, str], list[bool]] = {}
         from repro.core.history import SnapshotHistory
@@ -109,9 +126,53 @@ class Wrangler:
     # -- source management ------------------------------------------------
 
     def add_source(self, source: DataSource) -> "Wrangler":
-        """Register a source (structured or document)."""
+        """Register a source (structured or document).
+
+        Sources registered after :meth:`resilience` has been called are
+        wrapped under the same policy and ledger as the rest.
+        """
+        if self._resilience_policy is not None:
+            source = resilient(
+                source,
+                self._resilience_policy,
+                telemetry=self.telemetry,
+                ledger=self.degradation,
+            )
         self.registry.register(source)
         self._flow = None  # topology changed; rebuild on next run
+        return self
+
+    def resilience(
+        self, policy: RetryPolicy | None = None, *, quorum: float = 0.0
+    ) -> "Wrangler":
+        """Guard acquisition with retries, breakers, and deadlines.
+
+        Wraps every registered (and future) source in a
+        :func:`repro.resilience.resilient` wrapper driven by ``policy``
+        (default :class:`RetryPolicy`).  Attempts and outcomes land in the
+        degradation ledger, surfaced as ``WrangleResult.degradation``.
+
+        ``quorum`` is how many sources must survive acquisition for a run
+        to count as a success: a fraction of the registry when below 1, an
+        absolute count otherwise.  A run falling short raises
+        :class:`~repro.errors.DegradedRunError`; the default of 0 never
+        raises — the paper's pay-as-you-go stance is to complete with
+        downgraded quality annotations rather than fail.
+        """
+        self._resilience_policy = policy or RetryPolicy()
+        self._quorum = quorum
+        if self.degradation is None:
+            self.degradation = DegradationLedger()
+        for name in self.registry.names():
+            self.registry.replace(
+                resilient(
+                    self.registry.get(name),
+                    self._resilience_policy,
+                    telemetry=self.telemetry,
+                    ledger=self.degradation,
+                )
+            )
+        self._flow = None  # node bodies close over the wrapped sources
         return self
 
     def add_sources(self, sources: Sequence[DataSource]) -> "Wrangler":
@@ -153,15 +214,24 @@ class Wrangler:
                     sample = source.probe().infer_schema()
                 elif isinstance(source, DocumentSource):
                     documents = source.probe()
-                    examples = self._examples.get(name)
+                    # Probing must stay cheap: induce the bootstrap wrapper
+                    # from the documents the probe already paid for, never
+                    # from a full fetch.  Examples pointing at pages outside
+                    # the sample simply don't constrain the bootstrap; the
+                    # real acquisition pass uses them all.
+                    probed_urls = {doc.url for doc in documents}
+                    examples = [
+                        example
+                        for example in self._examples.get(name, [])
+                        if example.url in probed_urls
+                    ]
                     if examples:
                         wrapper = induce_wrapper(
-                            source.fetch(), examples, source=name
+                            documents, examples, source=name
                         )
-                        sample = wrapper.extract(documents).infer_schema()
                     else:
                         wrapper = auto_induce(documents, source=name)
-                        sample = wrapper.extract(documents).infer_schema()
+                    sample = wrapper.extract(documents).infer_schema()
                 else:
                     continue
                 correspondences = matcher.match(sample, self.user.target_schema)
@@ -196,16 +266,15 @@ class Wrangler:
                     coverage = min(
                         1.0, source.size_hint() / max(1, master_size)
                     ) * mapped.completeness()
-                    for __ in range(2):
-                        self.working.annotations.add(
-                            QualityAnnotation(
-                                f"source:{name}",
-                                Dimension.COMPLETENESS,
-                                coverage,
-                                confidence=1.0,
-                                origin="probe-coverage",
-                            )
+                    self.working.annotations.add(
+                        QualityAnnotation(
+                            f"source:{name}",
+                            Dimension.COMPLETENESS,
+                            coverage,
+                            confidence=1.0,
+                            origin="probe-coverage",
                         )
+                    )
             except WranglingError:
                 # A source whose sample cannot even be parsed or matched is
                 # itself a quality signal.
@@ -234,6 +303,7 @@ class Wrangler:
             if isinstance(source, StructuredSource):
                 table = source.fetch().infer_schema()
                 self.working.put("table", f"raw/{source.name}", table)
+                self._record_degradation(source.name)
                 return table
             if isinstance(source, DocumentSource):
                 documents = source.fetch()
@@ -252,9 +322,11 @@ class Wrangler:
                 )
                 table = table.infer_schema()
                 self.working.put("table", f"raw/{source.name}", table)
+                self._record_degradation(source.name)
                 return table
         except WranglingError as failure:
             self.working.put("failure", source.name, str(failure))
+            self._record_degradation(source.name)
             self.working.annotations.add(
                 QualityAnnotation(
                     f"source:{source.name}",
@@ -269,6 +341,19 @@ class Wrangler:
             self.working.put("table", f"raw/{source.name}", empty)
             return empty
         raise PlanningError(f"unsupported source type: {type(source).__name__}")
+
+    def _record_degradation(self, source_name: str) -> None:
+        """File one source's attempt/outcome ledger in the working data.
+
+        Acquisition provenance, as Section 4.2 stores every intermediate:
+        what it took (retries, backoff, breaker state) to get — or fail to
+        get — each source's data this run.
+        """
+        if self.degradation is None:
+            return
+        entry = self.degradation.disposition(source_name)
+        if entry is not None:
+            self.working.put("resilience", source_name, entry.to_dict())
 
     def _match(self, table: Table, plan: WranglePlan) -> list:
         matcher = SchemaMatcher(
@@ -689,6 +774,7 @@ class Wrangler:
     def _run(self) -> WrangleResult:
         flow = self.flow
         runs_before = flow.total_runs()
+        self._arm_run_deadline()
         with self.telemetry.tracer.span("wrangle.run") as run_span:
             repair_result = flow.pull("repair")
             fused = flow.value("fuse")
@@ -722,6 +808,7 @@ class Wrangler:
         if produced != self._recorded_fuse_runs:
             self.history.record(wrangled)
             self._recorded_fuse_runs = produced
+        self._enforce_quorum()
         return WrangleResult(
             table=wrangled,
             plan=plan,
@@ -733,7 +820,47 @@ class Wrangler:
             access_cost=self.registry.total_cost(),
             feedback_cost=self.feedback.total_cost(),
             telemetry=self.telemetry.snapshot(dataflow=flow.node_stats()),
+            degradation=(
+                self.degradation.export()
+                if self.degradation is not None
+                else None
+            ),
         )
+
+    def _arm_run_deadline(self) -> None:
+        """Start the per-run time budget on every resilient source."""
+        policy = self._resilience_policy
+        if policy is None or policy.run_deadline is None:
+            return
+        deadline = Deadline(
+            self.telemetry.clock, policy.run_deadline, label="wrangle run"
+        )
+        for name in self.registry.names():
+            source = self.registry.get(name)
+            if isinstance(
+                source, (ResilientStructuredSource, ResilientDocumentSource)
+            ):
+                source.engine.run_deadline = deadline
+
+    def _enforce_quorum(self) -> None:
+        """Raise :class:`DegradedRunError` when too few sources survived."""
+        if self.degradation is None or self._quorum <= 0:
+            return
+        names = self.registry.names()
+        survivors = self.degradation.survivors(names)
+        required = (
+            self._quorum
+            if self._quorum >= 1
+            else self._quorum * len(names)
+        )
+        if len(survivors) < required:
+            dead = self.degradation.dead(names)
+            raise DegradedRunError(
+                f"only {len(survivors)}/{len(names)} sources survived "
+                f"acquisition (quorum {self._quorum:g}); dead: "
+                f"{', '.join(dead)}",
+                dead=tuple(dead),
+            )
 
     # -- pay-as-you-go --------------------------------------------------------
 

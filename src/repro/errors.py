@@ -21,7 +21,46 @@ class TypeInferenceError(WranglingError):
 
 
 class SourceError(WranglingError):
-    """A data source could not be read, parsed, or registered."""
+    """A data source could not be read, parsed, or registered.
+
+    Base of the acquisition failure taxonomy: a plain ``SourceError`` is
+    *permanent* (retrying the same call cannot help — missing file,
+    malformed payload, bad configuration); :class:`TransientSourceError`
+    marks the retryable subset.
+    """
+
+
+class TransientSourceError(SourceError):
+    """A source failed in a way that may succeed on retry.
+
+    Timeouts, dropped connections, rate limits, momentary outages: the
+    resilience layer (:mod:`repro.resilience`) retries these under its
+    policy, while permanent :class:`SourceError` failures fail fast.
+    """
+
+
+class CircuitOpenError(TransientSourceError):
+    """A source's circuit breaker is open: the call was never attempted.
+
+    Transient by nature — the breaker re-admits traffic (half-open) after
+    its clock-based cooldown elapses.
+    """
+
+
+class DeadlineExceededError(WranglingError):
+    """A per-fetch or per-run time budget ran out before the work finished."""
+
+
+class DegradedRunError(WranglingError):
+    """Too few sources survived acquisition to honour the configured quorum.
+
+    Carries the names of the sources that did not survive, so callers can
+    report exactly what was lost.
+    """
+
+    def __init__(self, message: str, dead: tuple = ()) -> None:
+        super().__init__(message)
+        self.dead = tuple(dead)
 
 
 class ExtractionError(WranglingError):

@@ -39,6 +39,15 @@ class Clock(ABC):
     def current_datetime(self) -> _dt.datetime:
         """The current wall-clock instant — for timestamps in exports."""
 
+    @abstractmethod
+    def wait(self, seconds: float) -> None:
+        """Block until ``seconds`` have passed *on this clock*.
+
+        The only sanctioned way to sleep anywhere in the framework (lint
+        rule REP013): the system clock really sleeps, the manual clock
+        just advances, so retry backoff is instantaneous in tests.
+        """
+
 
 class SystemClock(Clock):
     """The real clock; the framework's single point of wall-clock entry."""
@@ -54,6 +63,15 @@ class SystemClock(Clock):
     def current_datetime(self) -> _dt.datetime:
         """The real wall-clock instant."""
         return _dt.datetime.now()
+
+    def wait(self, seconds: float) -> None:
+        """Really sleep (the framework's single point of ``time.sleep``)."""
+        if seconds < 0:
+            raise TelemetryError(
+                f"cannot wait {seconds} seconds: time is monotonic"
+            )
+        if seconds:
+            _time.sleep(seconds)
 
 
 class ManualClock(Clock):
@@ -85,6 +103,10 @@ class ManualClock(Clock):
     def current_datetime(self) -> _dt.datetime:
         """The configured start instant plus every advance."""
         return self._start_datetime + _dt.timedelta(seconds=self._time)
+
+    def wait(self, seconds: float) -> None:
+        """Advance instead of sleeping — waits are free and deterministic."""
+        self.advance(seconds)
 
     def advance(self, seconds: float) -> float:
         """Move time forward; returns the new ``current_time()``."""

@@ -1,0 +1,201 @@
+"""Resilience policies: retries, deadlines, and circuit breakers.
+
+The acquisition edge of Figure 1 talks to "potentially thousands of
+sources", and Veracity means some of them are down, slow, or rate-limited
+at any moment.  This module holds the three policy primitives the
+:mod:`repro.resilience` wrappers apply around every physical access:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  seeded jitter.  Delays are *computed* here and *spent* through the
+  injectable :class:`repro.obs.Clock` (``clock.wait``), so a manual clock
+  makes every retry schedule deterministic and instantaneous in tests.
+* :class:`Deadline` — a time budget on the same clock, for one fetch or
+  one whole run.
+* :class:`CircuitBreaker` — the per-source closed/open/half-open state
+  machine that stops hammering a source that keeps failing, with a
+  clock-based cooldown before traffic is re-admitted.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import CircuitOpenError, DeadlineExceededError, SourceError
+from repro.obs.clock import Clock
+
+__all__ = ["BreakerState", "CircuitBreaker", "Deadline", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before declaring a source failed.
+
+    ``max_attempts`` counts physical attempts (1 = no retries).  The delay
+    before attempt ``n+1`` is ``base_delay * multiplier**(n-1)`` capped at
+    ``max_delay``, plus up to ``jitter`` of itself drawn from a generator
+    seeded with ``seed`` and the source name — identical runs back off
+    identically.  ``fetch_deadline``/``run_deadline`` bound one access /
+    one whole run in clock seconds (``None`` = unbounded).  The breaker
+    knobs configure each wrapped source's :class:`CircuitBreaker`.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.1
+    seed: int = 2016
+    fetch_deadline: float | None = None
+    run_deadline: float | None = None
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SourceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise SourceError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise SourceError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise SourceError("jitter is a fraction of the delay, in [0, 1]")
+        if self.breaker_threshold < 1:
+            raise SourceError("breaker_threshold must be >= 1")
+        for name in ("fetch_deadline", "run_deadline", "breaker_cooldown"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise SourceError(f"{name} must be non-negative")
+
+    def rng_for(self, source_name: str) -> random.Random:
+        """The jitter generator for one source — seeded, so deterministic."""
+        return random.Random(f"{self.seed}:{source_name}")
+
+    def backoff(self, failures: int, rng: random.Random) -> float:
+        """Seconds to wait after the ``failures``-th failed attempt."""
+        if failures < 1:
+            return 0.0
+        delay = min(
+            self.max_delay, self.base_delay * self.multiplier ** (failures - 1)
+        )
+        return delay + delay * self.jitter * rng.random()
+
+
+class Deadline:
+    """A time budget on an injected clock.
+
+    Created when the budgeted work starts; :meth:`check` raises
+    :class:`~repro.errors.DeadlineExceededError` once the clock has moved
+    past the budget.
+    """
+
+    def __init__(self, clock: Clock, budget: float, label: str = "") -> None:
+        if budget < 0:
+            raise SourceError(f"deadline budget must be non-negative: {budget}")
+        self._clock = clock
+        self._expires = clock.current_time() + budget
+        self.label = label
+
+    def remaining(self) -> float:
+        """Clock seconds left before the budget runs out (never negative)."""
+        return max(0.0, self._expires - self._clock.current_time())
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        return self._clock.current_time() >= self._expires
+
+    def check(self, doing: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget has run out."""
+        if self.expired:
+            what = doing or self.label or "work"
+            raise DeadlineExceededError(
+                f"deadline exceeded while {what} "
+                f"(budget expired at t={self._expires:g})"
+            )
+
+
+class BreakerState(str, Enum):
+    """The circuit breaker's three states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-source failure circuit: closed → open → half-open → closed.
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, :meth:`admit` raises :class:`~repro.errors.CircuitOpenError`
+    without touching the source.  After ``cooldown`` clock seconds the
+    next admit moves to half-open: one trial call is let through, and its
+    outcome closes the circuit again or re-opens it for another cooldown.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        failure_threshold: int = 5,
+        cooldown: float = 30.0,
+        name: str = "",
+    ) -> None:
+        if failure_threshold < 1:
+            raise SourceError("failure_threshold must be >= 1")
+        if cooldown < 0:
+            raise SourceError("cooldown must be non-negative")
+        self._clock = clock
+        self._threshold = failure_threshold
+        self._cooldown = cooldown
+        self.name = name
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        #: How many times the circuit has opened over its lifetime.
+        self.times_opened = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """The current state (open circuits report open until admitted)."""
+        return self._state
+
+    def admit(self) -> None:
+        """Gate one call: raise :class:`CircuitOpenError` while open.
+
+        An open circuit whose cooldown has elapsed transitions to
+        half-open and admits the call as the trial.
+        """
+        if self._state is not BreakerState.OPEN:
+            return
+        elapsed = self._clock.current_time() - (self._opened_at or 0.0)
+        if elapsed >= self._cooldown:
+            self._state = BreakerState.HALF_OPEN
+            return
+        raise CircuitOpenError(
+            f"circuit for source {self.name!r} is open "
+            f"({self._cooldown - elapsed:.3g}s of cooldown remaining)"
+        )
+
+    def record_success(self) -> None:
+        """A call succeeded: close the circuit and forget the failures."""
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        """A call failed: count it, opening the circuit at the threshold.
+
+        A half-open trial failure re-opens immediately — the source has
+        not recovered, so the cooldown starts over.
+        """
+        self._consecutive_failures += 1
+        if (
+            self._state is BreakerState.HALF_OPEN
+            or self._consecutive_failures >= self._threshold
+        ):
+            self._state = BreakerState.OPEN
+            self._opened_at = self._clock.current_time()
+            self.times_opened += 1

@@ -93,6 +93,10 @@ class DataSource(abc.ABC):
 class StructuredSource(DataSource):
     """A source that yields relational data directly."""
 
+    def __init__(self, metadata: SourceMetadata) -> None:
+        super().__init__(metadata)
+        self._size_hint: int | None = None
+
     @abc.abstractmethod
     def _load(self) -> Table:
         """Produce the source's current table (subclass hook)."""
@@ -101,6 +105,7 @@ class StructuredSource(DataSource):
         """Fetch the source's current contents, recording the access."""
         self._record_access()
         table = self._load()
+        self._size_hint = len(table)
         if table.name != self.name:
             table = Table(self.name, table.schema, list(table.records))
         return table
@@ -113,12 +118,19 @@ class StructuredSource(DataSource):
         """
         self._record_access(PROBE_COST_FRACTION)
         table = self._load()
+        self._size_hint = len(table)
         return Table(self.name, table.schema, list(table.records[:limit]))
 
     def size_hint(self) -> int:
         """The source's advertised record count (catalogs publish item
-        counts; no access cost is charged for reading the banner)."""
-        return len(self._load())
+        counts; no access cost is charged for reading the banner).
+
+        Memoised per fetch/probe: repeated probes must not silently
+        re-read the entire source just to report its size.
+        """
+        if self._size_hint is None:
+            self._size_hint = len(self._load())
+        return self._size_hint
 
 
 class DocumentSource(DataSource):

@@ -42,12 +42,21 @@ class CSVSource(StructuredSource):
     def _load(self) -> Table:
         if not self._path.exists():
             raise SourceError(f"CSV file not found: {self._path}")
-        with self._path.open(newline="", encoding="utf-8") as handle:
-            reader = csv.DictReader(handle, delimiter=self._delimiter)
-            rows = [
-                {key: (value if value != "" else None) for key, value in row.items()}
-                for row in reader
-            ]
+        try:
+            with self._path.open(newline="", encoding="utf-8") as handle:
+                reader = csv.DictReader(handle, delimiter=self._delimiter)
+                rows = [
+                    {key: (value if value != "" else None) for key, value in row.items()}
+                    for row in reader
+                ]
+        except UnicodeDecodeError as failure:
+            raise SourceError(
+                f"CSV source {self.name!r} is not valid UTF-8: {failure}"
+            ) from failure
+        except OSError as failure:
+            raise SourceError(
+                f"CSV source {self.name!r} could not be read: {failure}"
+            ) from failure
         return Table.from_rows(self.name, rows, source=self.name)
 
 
@@ -102,8 +111,21 @@ class JSONSource(StructuredSource):
     def _load(self) -> Table:
         if not self._path.exists():
             raise SourceError(f"JSON file not found: {self._path}")
-        with self._path.open(encoding="utf-8") as handle:
-            payload = json.load(handle)
+        try:
+            with self._path.open(encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except UnicodeDecodeError as failure:
+            raise SourceError(
+                f"JSON source {self.name!r} is not valid UTF-8: {failure}"
+            ) from failure
+        except json.JSONDecodeError as failure:
+            raise SourceError(
+                f"JSON source {self.name!r} is malformed: {failure}"
+            ) from failure
+        except OSError as failure:
+            raise SourceError(
+                f"JSON source {self.name!r} could not be read: {failure}"
+            ) from failure
         if self._records_key is not None:
             if not isinstance(payload, dict) or self._records_key not in payload:
                 raise SourceError(

@@ -78,6 +78,10 @@ class XMLSource(StructuredSource):
             raise SourceError(
                 f"XML source {self.name!r} is not well-formed: {exc}"
             ) from exc
+        except (OSError, UnicodeDecodeError) as exc:
+            raise SourceError(
+                f"XML source {self.name!r} could not be read: {exc}"
+            ) from exc
         rows = [
             _flatten_element(element)
             for element in tree.getroot().iter(self._record_tag)

@@ -326,6 +326,74 @@ class TestRep012UnknownNoqaRule:
         assert result.suppressed == 1
 
 
+class TestRep013NoRawSleep:
+    PATH = "src/repro/core/example.py"
+
+    def test_time_sleep_fires(self):
+        assert_fires_then_suppresses(
+            "import time\ntime.sleep(0.5)\n",
+            "REP013",
+            "import time\ntime.sleep(0.5)  # repro: noqa[REP013]\n",
+            path=self.PATH,
+        )
+
+    def test_sleep_import_fires(self):
+        result = lint_source("from time import sleep\n", path=self.PATH)
+        assert "REP013" in rule_ids(result)
+
+    def test_imported_sleep_call_fires(self):
+        result = lint_source(
+            "from time import sleep\nsleep(1)\n", path=self.PATH
+        )
+        findings = [d for d in result.diagnostics if d.rule == "REP013"]
+        # Both the import and the call are flagged.
+        assert len(findings) == 2
+
+    def test_aliased_time_module_fires(self):
+        result = lint_source(
+            "import time as _t\n_t.sleep(0.1)\n", path=self.PATH
+        )
+        assert "REP013" in rule_ids(result)
+
+    def test_busy_wait_loop_fires(self):
+        assert_fires_then_suppresses(
+            "while not ready():\n    pass\n",
+            "REP013",
+            "while not ready():  # repro: noqa[REP013]\n    pass\n",
+            path=self.PATH,
+        )
+
+    def test_working_while_loop_is_clean(self):
+        result = lint_source(
+            "while items:\n    items.pop()\n", path=self.PATH
+        )
+        assert "REP013" not in rule_ids(result)
+
+    def test_obs_layer_exempt(self):
+        # SystemClock.wait hosts the framework's single real sleep.
+        result = lint_source(
+            "import time\ntime.sleep(0.1)\n",
+            path="src/repro/obs/clock.py",
+        )
+        assert "REP013" not in rule_ids(result)
+
+    def test_resilience_layer_exempt(self):
+        result = lint_source(
+            "import time\ntime.sleep(0.1)\n",
+            path="src/repro/resilience/policy.py",
+        )
+        assert "REP013" not in rule_ids(result)
+
+    def test_clock_wait_is_clean(self):
+        result = lint_source(
+            "from repro.obs import ManualClock\n"
+            "clock = ManualClock()\n"
+            "clock.wait(5.0)\n",
+            path=self.PATH,
+        )
+        assert "REP013" not in rule_ids(result)
+
+
 class TestSuppressionSyntax:
     def test_blanket_noqa_suppresses_all_rules(self):
         result = lint_source("assert print('x')  # repro: noqa\n")

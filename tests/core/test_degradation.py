@@ -1,0 +1,220 @@
+"""Chaos end-to-end: wrangling completes and accounts under injected faults.
+
+A registry mixing a healthy source, a transiently-failing source, and a
+dead source must produce a result (pay-as-you-go completes rather than
+crashes), report exactly what acquisition went through, and do all of it
+deterministically on a manual clock.
+"""
+
+import datetime
+import json
+
+import pytest
+
+from repro.context.data_context import DataContext
+from repro.context.user_context import UserContext
+from repro.core.wrangler import Wrangler
+from repro.datagen.htmlgen import annotations_for, render_site
+from repro.datagen.ontologies import product_ontology
+from repro.datagen.products import TARGET_SCHEMA, generate_world
+from repro.errors import DegradedRunError
+from repro.obs import Telemetry
+from repro.resilience import ChaosSource, FaultPlan, RetryPolicy
+from repro.sources.base import PROBE_COST_FRACTION
+from repro.sources.memory import MemoryDocumentSource, MemorySource
+
+TODAY = datetime.date(2016, 3, 15)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(n_products=30, n_sources=3, seed=77)
+
+
+def make_chaos_wrangler(world, quorum=0.0, policy=None):
+    """Three-source registry: healthy, fail-twice-then-recover, dead."""
+    user = UserContext.precision_first("analyst", TARGET_SCHEMA, budget=50.0)
+    data = DataContext("products").with_ontology(product_ontology())
+    data.add_master("catalog", world.ground_truth)
+    telemetry = Telemetry.manual()
+    wrangler = Wrangler(
+        user,
+        data,
+        master_key="catalog",
+        join_attribute="product",
+        today=TODAY,
+        telemetry=telemetry,
+    )
+    names = sorted(world.source_rows)
+    plans = {
+        names[0]: FaultPlan(),  # healthy
+        names[1]: FaultPlan(fail_first=2),  # down, then recovers
+        names[2]: FaultPlan(dead=True),  # gone for good
+    }
+    for name in names:
+        inner = MemorySource(
+            name, world.source_rows[name],
+            cost_per_access=world.specs[name].cost,
+        )
+        wrangler.add_source(
+            ChaosSource(inner, plans[name], clock=telemetry.clock)
+        )
+    wrangler.resilience(
+        policy or RetryPolicy(max_attempts=3), quorum=quorum
+    )
+    return wrangler, names
+
+
+class TestChaosEndToEnd:
+    def test_mixed_registry_completes_and_reports(self, world):
+        wrangler, names = make_chaos_wrangler(world)
+        result = wrangler.run()  # must not raise
+        healthy, flaky, dead = names
+        assert len(result.table) > 0
+        assert result.degradation is not None
+        assert result.degraded_sources() == [dead]
+        assert result.degradation[dead]["disposition"] == "failed"
+        assert result.degradation[flaky]["disposition"] in {
+            "recovered", "ok",
+        }
+        assert "resilience:" in result.explain()
+        assert dead in result.explain()
+
+    def test_ledger_records_injected_attempts_exactly(self, world):
+        wrangler, names = make_chaos_wrangler(world)
+        wrangler.run()
+        _, flaky, dead = names
+        ledger = wrangler.degradation.export()
+        # The flaky source's probe ate both injected failures, then
+        # recovered; everything after ran clean on the first attempt.
+        flaky_attempts = [
+            (a["op"], a["outcome"]) for a in ledger[flaky]["attempts"]
+        ]
+        assert flaky_attempts[:3] == [
+            ("probe", "transient-failure"),
+            ("probe", "transient-failure"),
+            ("probe", "success"),
+        ]
+        assert all(
+            outcome == "success" for _, outcome in flaky_attempts[3:]
+        )
+        # The dead source fails permanently on the first attempt, every
+        # time — never retried.
+        for attempt in ledger[dead]["attempts"]:
+            assert attempt["outcome"] == "permanent-failure"
+            assert attempt["attempt"] == 1
+
+    def test_resilience_telemetry_surfaces_in_the_result(self, world):
+        wrangler, names = make_chaos_wrangler(world)
+        result = wrangler.run()
+        counters = result.telemetry["metrics"]["counters"]
+        gauges = result.telemetry["metrics"]["gauges"]
+        assert counters["resilience.retries"] == 2  # the flaky probe's two
+        assert counters["resilience.attempts"] > 0
+        assert counters["resilience.failures.permanent-failure"] >= 1
+        healthy, flaky, dead = names
+        assert gauges[f"resilience.breaker.state.{healthy}"] == 0.0
+
+    def test_degradation_lands_in_working_data_provenance(self, world):
+        wrangler, names = make_chaos_wrangler(world)
+        wrangler.run()
+        _, flaky, _ = names
+        entry = wrangler.working.get("resilience", flaky)
+        assert entry["survived"] is True
+
+    def test_byte_identical_across_two_seeded_runs(self, world):
+        def run_once():
+            wrangler, _ = make_chaos_wrangler(world)
+            result = wrangler.run()
+            return result
+
+        first, second = run_once(), run_once()
+        assert json.dumps(
+            first.degradation, sort_keys=True
+        ) == json.dumps(second.degradation, sort_keys=True)
+        assert len(first.table) == len(second.table)
+        assert first.telemetry["metrics"]["counters"] == (
+            second.telemetry["metrics"]["counters"]
+        )
+
+    def test_no_wall_clock_sleep(self, world):
+        # The whole chaotic run — retries, backoff, and all — spends only
+        # manual-clock time.  (REP013 enforces the same statically.)
+        import time
+
+        wrangler, _ = make_chaos_wrangler(world)
+        start = time.perf_counter()  # repro: noqa[REP011]
+        wrangler.run()
+        elapsed = time.perf_counter() - start  # repro: noqa[REP011]
+        assert elapsed < 30.0  # sanity ceiling: no 0.05*2^n sleeps stacked
+        assert wrangler.telemetry.clock.current_time() > 0.0  # backoff spent
+
+
+class TestQuorum:
+    def test_absolute_quorum_raises_when_short(self, world):
+        wrangler, names = make_chaos_wrangler(world, quorum=3)
+        with pytest.raises(DegradedRunError) as failure:
+            wrangler.run()
+        assert failure.value.dead == (names[2],)
+
+    def test_fractional_quorum_tolerates_the_dead_source(self, world):
+        wrangler, _ = make_chaos_wrangler(world, quorum=0.5)
+        result = wrangler.run()  # 2 of 3 survived >= 1.5 required
+        assert len(result.degraded_sources()) == 1
+
+    def test_zero_quorum_never_raises(self, world):
+        wrangler, _ = make_chaos_wrangler(world, quorum=0.0)
+        assert wrangler.run() is not None
+
+
+class TestProbeAnnotationRegression:
+    def test_probe_coverage_annotated_exactly_once_per_source(self, world):
+        # Regression: the coverage annotation used to be added twice per
+        # source, silently doubling its weight in the fused quality score.
+        user = UserContext.precision_first("analyst", TARGET_SCHEMA)
+        data = DataContext("products").with_ontology(product_ontology())
+        data.add_master("catalog", world.ground_truth)
+        wrangler = Wrangler(
+            user, data, master_key="catalog",
+            join_attribute="product", today=TODAY,
+        )
+        for name, rows in world.source_rows.items():
+            wrangler.add_source(MemorySource(name, rows))
+        wrangler.flow.pull("probe")
+        for name in world.source_rows:
+            coverage = [
+                a
+                for a in wrangler.working.annotations.for_target(
+                    f"source:{name}"
+                )
+                if a.origin == "probe-coverage"
+            ]
+            assert len(coverage) == 1, (
+                f"{name}: {len(coverage)} probe-coverage annotations"
+            )
+
+
+class TestProbeCostRegression:
+    def test_document_probe_charges_the_probe_fraction_only(self, world):
+        # Regression: probing a document source used to trigger a second,
+        # full-cost fetch to gather wrapper-induction examples.
+        truth = world.truth_by_id()
+        listings = [
+            {
+                "product": str(row["product"]),
+                "brand": str(row["brand"]),
+                "price": f"${float(row['price']):.2f}",
+                "url": str(row["url"]),
+                "updated": "2016-03-15",
+            }
+            for row in list(truth.values())[:20]
+        ]
+        site = render_site("webshop", listings, template="grid")
+        user = UserContext.precision_first("u", TARGET_SCHEMA)
+        data = DataContext("products").with_ontology(product_ontology())
+        wrangler = Wrangler(user, data, today=TODAY)
+        source = MemoryDocumentSource("webshop", site.pages)
+        wrangler.add_source(source)
+        wrangler.annotate_examples("webshop", annotations_for(site, 3))
+        wrangler.flow.pull("probe")
+        assert source.accesses == pytest.approx(PROBE_COST_FRACTION)

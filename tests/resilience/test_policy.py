@@ -1,0 +1,165 @@
+"""RetryPolicy backoff maths, Deadline budgets, CircuitBreaker states.
+
+Everything runs on a ManualClock: no test here (or anywhere) spends real
+wall-clock time waiting.
+"""
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    SourceError,
+)
+from repro.obs import ManualClock
+from repro.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, jitter=0.0)
+        rng = policy.rng_for("s")
+        assert policy.backoff(1, rng) == 1.0
+        assert policy.backoff(2, rng) == 2.0
+        assert policy.backoff(3, rng) == 4.0
+
+    def test_backoff_caps_at_max_delay(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=10.0, max_delay=5.0, jitter=0.0
+        )
+        rng = policy.rng_for("s")
+        assert policy.backoff(4, rng) == 5.0
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        first = [policy.backoff(n, policy.rng_for("s")) for n in (1, 2, 3)]
+        second = [policy.backoff(n, policy.rng_for("s")) for n in (1, 2, 3)]
+        assert first == second  # same seed, same source: same schedule
+        for delay in first:
+            assert 1.0 <= delay <= 1.5
+
+    def test_different_sources_jitter_differently(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        a = policy.backoff(1, policy.rng_for("a"))
+        b = policy.backoff(1, policy.rng_for("b"))
+        assert a != b
+
+    def test_zero_failures_means_no_wait(self):
+        policy = RetryPolicy()
+        assert policy.backoff(0, policy.rng_for("s")) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+            {"breaker_threshold": 0},
+            {"fetch_deadline": -1.0},
+            {"run_deadline": -0.1},
+            {"breaker_cooldown": -1.0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(SourceError):
+            RetryPolicy(**kwargs)
+
+
+class TestDeadline:
+    def test_remaining_tracks_the_clock(self):
+        clock = ManualClock()
+        deadline = Deadline(clock, 10.0)
+        assert deadline.remaining() == 10.0
+        clock.advance(4.0)
+        assert deadline.remaining() == 6.0
+        assert not deadline.expired
+
+    def test_check_raises_once_expired(self):
+        clock = ManualClock()
+        deadline = Deadline(clock, 1.0, label="fetching flights")
+        deadline.check()
+        clock.advance(1.0)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+        with pytest.raises(DeadlineExceededError, match="fetching flights"):
+            deadline.check()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(SourceError):
+            Deadline(ManualClock(), -1.0)
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=30.0):
+        clock = ManualClock()
+        return clock, CircuitBreaker(
+            clock, failure_threshold=threshold, cooldown=cooldown, name="s"
+        )
+
+    def test_opens_at_the_failure_threshold(self):
+        _, breaker = self.make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 1
+
+    def test_open_circuit_refuses_until_cooldown(self):
+        clock, breaker = self.make(threshold=1, cooldown=30.0)
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError):
+            breaker.admit()
+        clock.advance(29.0)
+        with pytest.raises(CircuitOpenError):
+            breaker.admit()
+
+    def test_cooldown_admits_one_half_open_trial(self):
+        clock, breaker = self.make(threshold=1, cooldown=30.0)
+        breaker.record_failure()
+        clock.advance(30.0)
+        breaker.admit()  # does not raise: the trial is admitted
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_success_closes(self):
+        clock, breaker = self.make(threshold=1, cooldown=30.0)
+        breaker.record_failure()
+        clock.advance(30.0)
+        breaker.admit()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.admit()  # closed circuits admit freely
+
+    def test_half_open_failure_reopens_immediately(self):
+        clock, breaker = self.make(threshold=5, cooldown=30.0)
+        for _ in range(5):
+            breaker.record_failure()
+        clock.advance(30.0)
+        breaker.admit()
+        breaker.record_failure()  # one trial failure, not five
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 2
+        with pytest.raises(CircuitOpenError):
+            breaker.admit()
+
+    def test_success_resets_the_failure_count(self):
+        _, breaker = self.make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_invalid_knobs_rejected(self):
+        clock = ManualClock()
+        with pytest.raises(SourceError):
+            CircuitBreaker(clock, failure_threshold=0)
+        with pytest.raises(SourceError):
+            CircuitBreaker(clock, cooldown=-1.0)

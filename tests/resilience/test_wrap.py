@@ -1,0 +1,271 @@
+"""The resilient source wrapper: retries, cost accounting, telemetry.
+
+The wrapper's contract: a wrapped source IS a source (shape preserved),
+every physical attempt is charged at the inner source's cost, all
+waiting is spent on the injected clock, and the ledger records exactly
+what happened.
+"""
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    SourceError,
+    TransientSourceError,
+)
+from repro.obs import Telemetry
+from repro.resilience import (
+    ChaosSource,
+    DegradationLedger,
+    FaultPlan,
+    ResilientStructuredSource,
+    RetryPolicy,
+    resilient,
+)
+from repro.sources.base import StructuredSource
+from repro.sources.memory import MemoryDocumentSource, MemorySource
+
+ROWS = [{"id": "1", "name": "alpha"}, {"id": "2", "name": "beta"}]
+
+
+def flaky(name="flaky", fail_first=2, cost=1.0, telemetry=None):
+    """A source that fails transiently ``fail_first`` times, then recovers."""
+    inner = MemorySource(name, ROWS, cost_per_access=cost)
+    return ChaosSource(
+        inner,
+        FaultPlan(fail_first=fail_first),
+        clock=telemetry.clock if telemetry else None,
+    )
+
+
+class TestRetrying:
+    def test_retries_until_success(self):
+        telemetry = Telemetry.manual()
+        source = flaky(fail_first=2, telemetry=telemetry)
+        wrapped = resilient(
+            source, RetryPolicy(max_attempts=3), telemetry=telemetry
+        )
+        table = wrapped.fetch()
+        assert len(table) == 2
+        assert source.loads == 3  # two failures + the success
+
+    def test_each_physical_attempt_is_charged(self):
+        telemetry = Telemetry.manual()
+        source = flaky(fail_first=2, cost=2.5, telemetry=telemetry)
+        wrapped = resilient(
+            source, RetryPolicy(max_attempts=3), telemetry=telemetry
+        )
+        wrapped.fetch()
+        # 3 physical attempts x 2.5 per access, visible through the wrapper.
+        assert wrapped.total_cost == pytest.approx(7.5)
+        assert wrapped.accesses == 3
+
+    def test_attempts_exhausted_raises_the_last_error(self):
+        telemetry = Telemetry.manual()
+        source = flaky(fail_first=10, telemetry=telemetry)
+        wrapped = resilient(
+            source, RetryPolicy(max_attempts=3), telemetry=telemetry
+        )
+        with pytest.raises(TransientSourceError):
+            wrapped.fetch()
+        assert source.loads == 3  # bounded: no fourth attempt
+
+    def test_permanent_failure_fails_fast(self):
+        telemetry = Telemetry.manual()
+        inner = MemorySource("dead", ROWS)
+        source = ChaosSource(
+            inner, FaultPlan(dead=True), clock=telemetry.clock
+        )
+        wrapped = resilient(
+            source, RetryPolicy(max_attempts=5), telemetry=telemetry
+        )
+        with pytest.raises(SourceError):
+            wrapped.fetch()
+        assert source.loads == 1  # permanent errors are not retried
+
+    def test_backoff_spends_clock_time_not_wall_time(self):
+        telemetry = Telemetry.manual()
+        source = flaky(fail_first=2, telemetry=telemetry)
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=1.0, multiplier=2.0, jitter=0.0
+        )
+        wrapped = resilient(source, policy, telemetry=telemetry)
+        wrapped.fetch()
+        # Backoffs of 1s then 2s were spent by advancing the manual clock.
+        assert telemetry.clock.current_time() == pytest.approx(3.0)
+
+    def test_retry_schedule_is_deterministic(self):
+        def run():
+            telemetry = Telemetry.manual()
+            source = flaky(fail_first=2, telemetry=telemetry)
+            ledger = DegradationLedger()
+            wrapped = resilient(
+                source,
+                RetryPolicy(max_attempts=3),
+                telemetry=telemetry,
+                ledger=ledger,
+            )
+            wrapped.fetch()
+            return ledger.export()
+
+        assert run() == run()
+
+
+class TestShapeAndDelegation:
+    def test_wrapped_structured_source_is_structured(self):
+        wrapped = resilient(MemorySource("m", ROWS), RetryPolicy())
+        assert isinstance(wrapped, StructuredSource)
+        assert wrapped.name == "m"
+        assert wrapped.size_hint() == 2
+
+    def test_wrapping_is_idempotent(self):
+        wrapped = resilient(MemorySource("m", ROWS), RetryPolicy())
+        assert resilient(wrapped, RetryPolicy()) is wrapped
+
+    def test_document_sources_wrap_too(self):
+        pages = [("http://x/1", "<html><body>hi</body></html>")]
+        wrapped = resilient(MemoryDocumentSource("web", pages), RetryPolicy())
+        documents = wrapped.fetch()
+        assert len(documents) == 1
+        assert documents[0].url == "http://x/1"
+
+    def test_probe_goes_through_the_engine(self):
+        telemetry = Telemetry.manual()
+        source = flaky(fail_first=1, telemetry=telemetry)
+        wrapped = resilient(
+            source, RetryPolicy(max_attempts=2), telemetry=telemetry
+        )
+        table = wrapped.probe(limit=1)
+        assert len(table) == 1
+        assert source.loads == 2  # one failed + one successful probe load
+
+
+class TestBreakerIntegration:
+    def test_short_circuit_skips_the_source_entirely(self):
+        telemetry = Telemetry.manual()
+        inner = MemorySource("down", ROWS)
+        source = ChaosSource(
+            inner, FaultPlan(fail_first=100), clock=telemetry.clock
+        )
+        policy = RetryPolicy(
+            max_attempts=2, breaker_threshold=2, breaker_cooldown=60.0,
+            base_delay=0.0, jitter=0.0,
+        )
+        ledger = DegradationLedger()
+        wrapped = resilient(
+            source, policy, telemetry=telemetry, ledger=ledger
+        )
+        with pytest.raises(TransientSourceError):
+            wrapped.fetch()  # two failures open the circuit
+        loads_before = source.loads
+        with pytest.raises(CircuitOpenError):
+            wrapped.fetch()  # refused without touching the source
+        assert source.loads == loads_before
+        assert wrapped.total_cost == loads_before  # nothing charged
+        entry = ledger.disposition("down")
+        assert entry.disposition == "short-circuited"
+        assert not entry.survived
+
+    def test_breaker_recovers_after_cooldown(self):
+        telemetry = Telemetry.manual()
+        inner = MemorySource("s", ROWS)
+        source = ChaosSource(
+            inner, FaultPlan(fail_first=2), clock=telemetry.clock
+        )
+        policy = RetryPolicy(
+            max_attempts=1, breaker_threshold=2, breaker_cooldown=30.0
+        )
+        wrapped = resilient(source, policy, telemetry=telemetry)
+        for _ in range(2):
+            with pytest.raises(TransientSourceError):
+                wrapped.fetch()
+        with pytest.raises(CircuitOpenError):
+            wrapped.fetch()
+        telemetry.clock.advance(30.0)
+        table = wrapped.fetch()  # half-open trial succeeds, circuit closes
+        assert len(table) == 2
+
+
+class TestDeadlines:
+    def test_backoff_never_sleeps_past_the_fetch_deadline(self):
+        telemetry = Telemetry.manual()
+        source = flaky(fail_first=5, telemetry=telemetry)
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=10.0, jitter=0.0,
+            fetch_deadline=5.0,
+        )
+        wrapped = resilient(source, policy, telemetry=telemetry)
+        with pytest.raises(DeadlineExceededError):
+            wrapped.fetch()
+        # The 10s backoff exceeded the 5s budget: we stopped instead of
+        # sleeping, so the clock never moved.
+        assert telemetry.clock.current_time() == 0.0
+        assert source.loads == 1
+
+    def test_expired_run_deadline_refuses_new_attempts(self):
+        telemetry = Telemetry.manual()
+        source = flaky(fail_first=0, telemetry=telemetry)
+        wrapped = resilient(source, RetryPolicy(), telemetry=telemetry)
+        from repro.resilience import Deadline
+
+        wrapped.engine.run_deadline = Deadline(telemetry.clock, 1.0)
+        telemetry.clock.advance(2.0)
+        with pytest.raises(DeadlineExceededError):
+            wrapped.fetch()
+        assert source.loads == 0  # refused before any physical attempt
+
+
+class TestTelemetryAndLedger:
+    def test_metrics_count_attempts_and_retries(self):
+        telemetry = Telemetry.manual()
+        source = flaky(fail_first=2, telemetry=telemetry)
+        wrapped = resilient(
+            source, RetryPolicy(max_attempts=3), telemetry=telemetry
+        )
+        wrapped.fetch()
+        metrics = telemetry.metrics
+        assert metrics.counter("resilience.attempts").value == 3
+        assert metrics.counter("resilience.retries").value == 2
+        assert metrics.counter("resilience.successes").value == 1
+        assert (
+            metrics.counter("resilience.failures.transient-failure").value
+            == 2
+        )
+        assert metrics.gauge("resilience.breaker.state.flaky").value == 0.0
+
+    def test_spans_record_the_outcome(self):
+        telemetry = Telemetry.manual()
+        source = flaky(fail_first=1, telemetry=telemetry)
+        wrapped = resilient(
+            source, RetryPolicy(max_attempts=2), telemetry=telemetry
+        )
+        wrapped.fetch()
+        (span,) = [
+            s
+            for s in telemetry.tracer.to_dicts()
+            if s["name"] == "resilience.fetch"
+        ]
+        assert span["attributes"]["outcome"] == "success"
+        assert span["attributes"]["attempts"] == 2
+
+    def test_ledger_tells_the_full_story(self):
+        telemetry = Telemetry.manual()
+        source = flaky(fail_first=2, telemetry=telemetry)
+        ledger = DegradationLedger()
+        wrapped = resilient(
+            source,
+            RetryPolicy(max_attempts=3),
+            telemetry=telemetry,
+            ledger=ledger,
+        )
+        wrapped.fetch()
+        entry = ledger.export()["flaky"]
+        assert entry["disposition"] == "recovered"
+        assert entry["survived"] is True
+        outcomes = [a["outcome"] for a in entry["attempts"]]
+        assert outcomes == [
+            "transient-failure", "transient-failure", "success",
+        ]
+        assert entry["attempts"][0]["backoff"] > 0.0
+        assert entry["attempts"][2]["backoff"] == 0.0

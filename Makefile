@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-json typecheck bench-smoke chaos check
+.PHONY: test lint lint-json typecheck parallel-check bench-smoke chaos check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,6 +18,13 @@ lint-json:
 # plan; exits 1 on any error-severity finding.
 typecheck:
 	$(PYTHON) -m repro.analysis.typecheck examples
+
+# Parallel-safety certification of every shipped example plan (exits 1
+# on any UNSAFE node), then the snapshot test pinning the expected
+# node→level certification map and its byte-for-byte determinism.
+parallel-check:
+	$(PYTHON) -m repro.analysis.parallel examples
+	$(PYTHON) -m pytest tests/analysis/test_parallel_snapshot.py -q -p no:cacheprovider
 
 # One small benchmark end to end, then schema-check the telemetry it
 # emitted: catches drift between the benchmarks and the repro.obs schema.
@@ -34,4 +41,4 @@ chaos:
 	$(PYTHON) -m repro.obs.report benchmarks/results/E11-resilience.telemetry.json --validate-only
 	$(PYTHON) -m repro.analysis.lint src/repro tests benchmarks --select REP013
 
-check: test lint typecheck bench-smoke chaos
+check: test lint typecheck parallel-check bench-smoke chaos

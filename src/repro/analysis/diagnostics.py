@@ -18,6 +18,7 @@ __all__ = [
     "Location",
     "Diagnostic",
     "count_by_severity",
+    "dedupe_diagnostics",
     "has_errors",
     "sort_diagnostics",
     "worst_severity",
@@ -120,6 +121,20 @@ def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
             d.rule,
         ),
     )
+
+
+def dedupe_diagnostics(
+    diagnostics: Iterable[Diagnostic],
+) -> list[Diagnostic]:
+    """Drop exact duplicates, keeping first occurrence order.
+
+    Four gates (``PV``, ``TC``, purity, ``PX``) can legitimately find the
+    same defect on the same node; a combined report should say it once.
+    Diagnostics are frozen dataclasses, so "exact duplicate" is full
+    field equality — two findings differing only in message or hint both
+    survive.
+    """
+    return list(dict.fromkeys(diagnostics))
 
 
 def count_by_severity(

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis.parallel`` — the parallel-safety CLI."""
+
+import sys
+
+from repro.analysis.parallel.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

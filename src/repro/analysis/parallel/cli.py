@@ -1,0 +1,319 @@
+"""The parallel-safety CLI: ``python -m repro.analysis.parallel``.
+
+Discovers plan-building Python modules (each exposing a zero-argument
+``build_wrangler()``), certifies every dataflow node of each plan with
+the :class:`~repro.analysis.parallel.certifier.ParallelAnalyser`, and
+renders the certificates plus their ``PX`` findings as text or JSON.
+Certification is purely static — no source is probed or fetched — so
+output is deterministic: byte-identical across runs over an unchanged
+tree.
+
+Exit-code contract (identical to the lint and typecheck CLIs):
+
+* ``0`` — no UNSAFE node and no error-severity finding;
+* ``1`` — at least one UNSAFE node or error-severity finding;
+* ``2`` — the tool itself was misused (unknown path, unimportable
+  module, an explicitly named file without an entry point).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import itertools
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Location,
+    Severity,
+    has_errors,
+    sort_diagnostics,
+)
+from repro.analysis.parallel.certifier import (
+    ParallelAnalyser,
+    ParallelCertificate,
+    ParallelSafety,
+    certify_dataflow_parallel,
+)
+from repro.analysis.parallel.gate import parallel_diagnostics
+from repro.analysis.parallel.rules import PARALLEL_RULES
+from repro.analysis.report import render
+from repro.errors import AnalysisError
+
+__all__ = ["ParallelCheckResult", "check_module", "check_paths", "main"]
+
+_module_counter = itertools.count(1)
+
+#: The conventional zero-argument plan-module entry point.
+DEFAULT_ENTRY = "build_wrangler"
+
+
+@dataclass(frozen=True)
+class ParallelCheckResult:
+    """Certificates and findings plus the coverage counters."""
+
+    diagnostics: tuple[Diagnostic, ...]
+    certificates: tuple[tuple[str, tuple[tuple[str, ParallelCertificate], ...]], ...]
+    checked_plans: int
+    skipped: tuple[str, ...]
+
+    @property
+    def nodes(self) -> int:
+        return sum(len(certs) for _, certs in self.certificates)
+
+    @property
+    def unsafe_nodes(self) -> tuple[str, ...]:
+        """``path::node`` for every node certified UNSAFE."""
+        return tuple(
+            f"{path}::{name}"
+            for path, certs in self.certificates
+            for name, certificate in certs
+            if certificate.level is ParallelSafety.UNSAFE
+        )
+
+    @property
+    def ok(self) -> bool:
+        """No UNSAFE node and no error-severity finding."""
+        return not self.unsafe_nodes and not has_errors(self.diagnostics)
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def _import_module(path: Path):
+    name = f"_repro_parallel_plan_{next(_module_counter)}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        raise AnalysisError(f"cannot load module from {path}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    # Arbitrary user plan modules can fail arbitrarily at import time;
+    # every failure becomes the CLI's misuse exit code.
+    except Exception as failure:  # repro: noqa[REP002]
+        sys.modules.pop(name, None)
+        raise AnalysisError(f"cannot import {path}: {failure}") from failure
+    return module
+
+
+def check_module(
+    path: Path,
+    entry: str = DEFAULT_ENTRY,
+    analyser: ParallelAnalyser | None = None,
+) -> ParallelCheckResult | None:
+    """Certify the plan one module builds; ``None`` when it has no
+    ``entry`` callable (not a plan module)."""
+    module = _import_module(path)
+    build = getattr(module, entry, None)
+    if build is None or not callable(build):
+        return None
+    try:
+        wrangler = build()
+        flow = wrangler.flow
+        certificates = certify_dataflow_parallel(
+            flow, analyser=analyser or ParallelAnalyser()
+        )
+    except AnalysisError:
+        raise
+    # A user-supplied build_wrangler() can fail arbitrarily; fold it
+    # into the CLI's misuse exit code rather than a traceback.
+    except Exception as failure:  # repro: noqa[REP002]
+        raise AnalysisError(
+            f"certification of {path} failed: {failure}"
+        ) from failure
+    findings = [
+        Diagnostic(
+            d.rule,
+            d.severity,
+            Location(
+                f"{path}::{d.location.file}",
+                line=d.location.line,
+                column=d.location.column,
+                node=d.location.node,
+            ),
+            d.message,
+            d.fix_hint,
+        )
+        for d in parallel_diagnostics(
+            certificates, min_severity=Severity.INFO
+        )
+    ]
+    ordered = tuple(sorted(certificates.items()))
+    return ParallelCheckResult(
+        tuple(findings),
+        ((str(path), ordered),),
+        checked_plans=1,
+        skipped=(),
+    )
+
+
+def _discover(paths: Sequence[str]) -> tuple[list[Path], list[Path]]:
+    """(explicit files, directory-discovered files) under ``paths``."""
+    explicit: list[Path] = []
+    discovered: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            discovered.extend(
+                p for p in sorted(path.rglob("*.py"))
+                if p.stem != "__init__"
+            )
+        elif path.is_file():
+            explicit.append(path)
+        else:
+            raise AnalysisError(f"no such file or directory: {raw}")
+    return explicit, discovered
+
+
+def check_paths(
+    paths: Sequence[str], entry: str = DEFAULT_ENTRY
+) -> ParallelCheckResult:
+    """Certify every plan module under the given paths.
+
+    Directory-discovered files without the entry point are skipped and
+    listed in ``skipped``; an explicitly named file without one is a
+    usage error.  One analyser serves every plan, so each defining
+    source file is parsed once.
+    """
+    explicit, discovered = _discover(paths)
+    analyser = ParallelAnalyser()
+    diagnostics: list[Diagnostic] = []
+    certificates: list[
+        tuple[str, tuple[tuple[str, ParallelCertificate], ...]]
+    ] = []
+    checked = 0
+    skipped: list[str] = []
+    for path in explicit:
+        result = check_module(path, entry=entry, analyser=analyser)
+        if result is None:
+            raise AnalysisError(
+                f"{path} defines no {entry}() entry point"
+            )
+        diagnostics.extend(result.diagnostics)
+        certificates.extend(result.certificates)
+        checked += 1
+    for path in discovered:
+        result = check_module(path, entry=entry, analyser=analyser)
+        if result is None:
+            skipped.append(str(path))
+            continue
+        diagnostics.extend(result.diagnostics)
+        certificates.extend(result.certificates)
+        checked += 1
+    return ParallelCheckResult(
+        tuple(sort_diagnostics(diagnostics)),
+        tuple(certificates),
+        checked_plans=checked,
+        skipped=tuple(skipped),
+    )
+
+
+def _certification_block(result: ParallelCheckResult) -> str:
+    """The per-plan node→level table appended to the text report."""
+    lines = ["certification:"]
+    for path, certs in result.certificates:
+        lines.append(f"  {path}")
+        width = max((len(name) for name, _ in certs), default=0)
+        for name, certificate in certs:
+            lines.append(
+                f"    {name:<{width}}  {certificate.level.value}"
+            )
+    counts: dict[str, int] = {level.value: 0 for level in ParallelSafety}
+    for _, certs in result.certificates:
+        for _, certificate in certs:
+            counts[certificate.level.value] += 1
+    summary = ", ".join(
+        f"{counts[level.value]} {level.value}" for level in ParallelSafety
+    )
+    lines.append(f"  {result.nodes} nodes: {summary}")
+    return "\n".join(lines)
+
+
+def _render_json(result: ParallelCheckResult) -> str:
+    payload = {
+        "plans": [
+            {
+                "path": path,
+                "nodes": {
+                    name: certificate.to_dict()
+                    for name, certificate in certs
+                },
+            }
+            for path, certs in result.certificates
+        ],
+        "diagnostics": [d.to_dict() for d in result.diagnostics],
+        "summary": {
+            "checked_plans": result.checked_plans,
+            "nodes": result.nodes,
+            "unsafe_nodes": list(result.unsafe_nodes),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _rule_catalogue() -> str:
+    lines = []
+    for rule_id in sorted(PARALLEL_RULES):
+        registered = PARALLEL_RULES[rule_id]
+        lines.append(
+            f"{rule_id}  {registered.name:<32} "
+            f"{registered.severity.value:<8} {registered.description}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.parallel",
+        description=(
+            "repro parallel-safety certifier: classifies every dataflow "
+            "node of each plan as row_local / partition_local / global / "
+            "unsafe by static AST and closure inspection"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["examples"],
+        help="plan modules or directories to certify (default: examples)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--entry", default=DEFAULT_ENTRY,
+        help=f"plan-module entry point (default: {DEFAULT_ENTRY})",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the PX rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        sys.stdout.write(_rule_catalogue() + "\n")
+        return 0
+    try:
+        result = check_paths(args.paths, entry=args.entry)
+    except AnalysisError as failure:
+        sys.stderr.write(f"error: {failure}\n")
+        return 2
+    for path in result.skipped:
+        sys.stderr.write(f"note: {path}: no {args.entry}(), skipped\n")
+    if args.format == "json":
+        sys.stdout.write(_render_json(result) + "\n")
+    else:
+        report = render(
+            result.diagnostics, "text", checked_files=result.checked_plans
+        )
+        sys.stdout.write(report + "\n")
+        sys.stdout.write(_certification_block(result) + "\n")
+        for unsafe in result.unsafe_nodes:
+            sys.stdout.write(f"UNSAFE: {unsafe}\n")
+    return result.exit_code

@@ -805,3 +805,80 @@ def _check_no_raw_sleep(context: ModuleContext) -> Iterator[Diagnostic]:
                 "busy-wait spin loop (body does nothing)",
                 "wait on the injected Clock, or on a real condition",
             )
+
+
+# -- REP014 ---------------------------------------------------------------
+
+#: Layers allowed to touch the shared RNG: ``datagen`` synthesises test
+#: worlds and seeds explicitly at its own entry points.
+_RNG_EXEMPT_LAYERS = {"datagen"}
+
+#: ``random`` module attributes that are *not* shared-state draws:
+#: constructing an explicitly seeded generator is the sanctioned pattern.
+_RNG_CLASS_NAMES = {"Random", "SystemRandom"}
+
+
+@rule(
+    "REP014",
+    "no-shared-rng",
+    Severity.ERROR,
+    "Module-level `random.*` calls draw from one process-wide generator: "
+    "a hidden shared-state dependency that breaks determinism the moment "
+    "work is reordered or fanned out across processes (the parallel "
+    "certifier's PX006, enforced at the source).  Construct an "
+    "explicitly seeded random.Random and thread it through; only "
+    "datagen/ is exempt.",
+)
+def _check_no_shared_rng(context: ModuleContext) -> Iterator[Diagnostic]:
+    if context.layer in _RNG_EXEMPT_LAYERS:
+        return
+    random_aliases: set[str] = set()
+    shared_fn_names: set[str] = set()
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "random":
+                    random_aliases.add(alias.asname or "random")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "random":
+                for alias in node.names:
+                    if alias.name in _RNG_CLASS_NAMES:
+                        continue
+                    shared_fn_names.add(alias.asname or alias.name)
+                    yield context.diagnostic(
+                        "REP014",
+                        Severity.ERROR,
+                        node,
+                        f"`{alias.name}` imported from `random` binds the "
+                        "shared module-level generator",
+                        "import random.Random, seed it explicitly, and "
+                        "thread the instance through",
+                    )
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr not in _RNG_CLASS_NAMES
+            and isinstance(func.value, ast.Name)
+            and func.value.id in random_aliases
+        ):
+            yield context.diagnostic(
+                "REP014",
+                Severity.ERROR,
+                node,
+                f"call to shared module-level RNG "
+                f"`{func.value.id}.{func.attr}()`",
+                "construct a seeded random.Random and call the method "
+                "on the instance",
+            )
+        elif isinstance(func, ast.Name) and func.id in shared_fn_names:
+            yield context.diagnostic(
+                "REP014",
+                Severity.ERROR,
+                node,
+                f"call to shared module-level RNG `{func.id}()`",
+                "construct a seeded random.Random and call the method "
+                "on the instance",
+            )

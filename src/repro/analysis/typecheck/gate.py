@@ -1,12 +1,15 @@
-"""The pre-execution gate: structure + types + purity in one pass.
+"""The pre-execution gate: structure + types + purity + parallelism.
 
 ``Wrangler.run(validate=True)`` funnels through :func:`run_preflight`,
 which folds the plan validator's structural findings (``PV0xx``), the
-schema-flow checker's type findings (``TC001``–``TC009``), and the
-purity certifier's node verdicts (``TC010``) into one
+schema-flow checker's type findings (``TC001``–``TC009``), the purity
+certifier's node verdicts (``TC010``), and the parallel-safety
+certifier's race findings (``PX0xx``) into one
 :class:`~repro.analysis.validator.ValidationReport` — so a plan is
-refused for a dangling dependency, an untypable mapping, or an
-uncertifiable node through exactly the same machinery.
+refused for a dangling dependency, an untypable mapping, an
+uncertifiable node, or a racy node body through exactly the same
+machinery.  The combined report is deduplicated and stably ordered:
+four gates can flag one node, but each exact finding appears once.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.analysis.diagnostics import (
     Diagnostic,
     Severity,
+    dedupe_diagnostics,
     sort_diagnostics,
 )
 from repro.analysis.typecheck.checker import SchemaFlowChecker
@@ -97,13 +101,14 @@ def run_preflight(
     comparators: Sequence[Any] = (),
     certify: bool = True,
     analyser: PurityAnalyser | None = None,
+    parallel_analyser: Any = None,
 ) -> ValidationReport:
     """Run the full pre-execution gate and fold findings into one report.
 
     Probe artifacts come from ``source_schemas``/``mappings`` when given
     explicitly, falling back to the ``probe/``-prefixed entries of
-    ``working``.  ``certify=False`` skips purity certification (the
-    other two gates still run).
+    ``working``.  ``certify=False`` skips purity and parallel-safety
+    certification (the other two gates still run).
     """
     filed_schemas, filed_mappings = probe_artifacts(working)
     if source_schemas is None:
@@ -139,4 +144,21 @@ def run_preflight(
         verdicts = dataflow.certify(analyser=analyser or PurityAnalyser())
         findings.extend(purity_diagnostics(verdicts))
 
-    return ValidationReport(tuple(sort_diagnostics(findings)))
+    if (
+        certify
+        and dataflow is not None
+        and hasattr(dataflow, "certify_parallel")
+    ):
+        from repro.analysis.parallel import (
+            ParallelAnalyser,
+            parallel_diagnostics,
+        )
+
+        certificates = dataflow.certify_parallel(
+            analyser=parallel_analyser or ParallelAnalyser()
+        )
+        findings.extend(parallel_diagnostics(certificates))
+
+    return ValidationReport(
+        tuple(sort_diagnostics(dedupe_diagnostics(findings)))
+    )

@@ -49,6 +49,10 @@ class _Node:
     #: Purity certificate for the compute callable ("pure" / "impure" /
     #: "unknown"), or ``None`` before :meth:`Dataflow.certify` has run.
     purity: str | None = None
+    #: Parallel-safety level for the compute callable ("row_local" /
+    #: "partition_local" / "global" / "unsafe"), or ``None`` before
+    #: :meth:`Dataflow.certify_parallel` has run.
+    parallel: str | None = None
 
 
 class Dataflow:
@@ -258,6 +262,34 @@ class Dataflow:
         """Every node's recorded purity verdict (``None`` = uncertified)."""
         return {name: node.purity for name, node in self._nodes.items()}
 
+    # -- parallel-safety certification --------------------------------------
+
+    def certify_parallel(self, analyser: Any = None) -> dict[str, Any]:
+        """Certify every node's fan-out safety and record the levels.
+
+        The parallel twin of :meth:`certify`: uses the AST-based
+        :class:`~repro.analysis.parallel.ParallelAnalyser` (an instance
+        may be passed in to share its caches across dataflows), sets each
+        node's ``parallel`` field to the certified level, and returns
+        ``{node name: ParallelCertificate}`` — the contract a
+        partitioned scheduler fans out on.
+        """
+        if analyser is None:
+            from repro.analysis.parallel import ParallelAnalyser
+
+            analyser = ParallelAnalyser()
+        certificates = {}
+        for name, node in self._nodes.items():
+            certificate = analyser.certify(node.compute, role="node")
+            node.parallel = certificate.level.value
+            certificates[name] = certificate
+        return certificates
+
+    def parallel_map(self) -> dict[str, str | None]:
+        """Every node's recorded parallel-safety level (``None`` =
+        uncertified)."""
+        return {name: node.parallel for name, node in self._nodes.items()}
+
     def node_callables(self) -> list[tuple[str, Callable[..., Any]]]:
         """Every node's compute callable — the purity analyser's view."""
         return [
@@ -321,6 +353,7 @@ class Dataflow:
                 "stage": node.stage,
                 "clean": node.clean,
                 "purity": node.purity,
+                "parallel": node.parallel,
             }
             for name, node in self._nodes.items()
         }

@@ -178,4 +178,9 @@ def validate_telemetry(payload: Any) -> list[str]:
             purity = stats.get("purity")
             if purity is not None and not isinstance(purity, str):
                 problems.append(f"{where}.purity: expected a string or null")
+            parallel = stats.get("parallel")
+            if parallel is not None and not isinstance(parallel, str):
+                problems.append(
+                    f"{where}.parallel: expected a string or null"
+                )
     return problems

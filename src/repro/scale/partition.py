@@ -10,10 +10,18 @@ partition map, a cross-partition reduce — as plain deterministic Python,
 plus the two instantiations the benchmarks exercise: partitioned profiling
 and partitioned entity resolution (partition-local ER with a merge step,
 the standard blocking-respecting parallelisation).
+
+Both entry points accept ``strict=True``, the fan-out contract the
+parallel-safety certifier (:mod:`repro.analysis.parallel`) enforces: the
+map-side callables must certify ROW_LOCAL or PARTITION_LOCAL and the
+reduce-side callable must not certify UNSAFE, or the call is refused
+with :class:`~repro.errors.ParallelSafetyError` before any work starts.
+A future partitioned scheduler fans out *only* under this contract.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Callable, Sequence, TypeVar
 
 import networkx as nx
@@ -22,10 +30,52 @@ from repro.errors import WranglingError
 from repro.model.records import Record, Table
 from repro.resolution.er import EntityCluster, EntityResolver, ResolutionResult
 
-__all__ = ["hash_partition", "map_reduce", "partitioned_resolve"]
+__all__ = ["hash_partition", "map_reduce", "partitioned_resolve", "stable_digest"]
 
 M = TypeVar("M")
 R = TypeVar("R")
+
+
+def stable_digest(key: object) -> int:
+    """A process-stable 32-bit digest of ``key``'s string form.
+
+    ``hash()`` is salted per process for str, so partition assignment
+    would differ between coordinator and workers; CRC-32 over the
+    UTF-8 encoding is deterministic everywhere and mixes every byte
+    (the previous hand-rolled ``digest*131 + ord(char)`` loop let the
+    last character dominate the low bits — pathological skew whenever
+    ``n_partitions`` divided the multiplier's cycle).
+    """
+    return zlib.crc32(str(key).encode("utf-8"))
+
+
+def _ensure_strict(
+    map_fn: Callable[..., object] | None,
+    reduce_fn: Callable[..., object] | None,
+    key: Callable[..., object] | None,
+) -> None:
+    """Certify the callables a strict fan-out will run, or refuse.
+
+    The analysis layer sits above the scale layer, so the certifier is
+    imported lazily and only when strict mode is requested — the default
+    (non-strict) path never touches it.
+    """
+    # Deliberate, gated inversion: certification is optional policy, the
+    # default (non-strict) path never touches the analysis layer.
+    from repro.analysis.parallel import (  # repro: noqa[REP007]
+        ParallelAnalyser,
+        ensure_certified,
+    )
+
+    analyser = ParallelAnalyser()
+    if key is not None:
+        ensure_certified(key, role="map", analyser=analyser, name="key")
+    if map_fn is not None:
+        ensure_certified(map_fn, role="map", analyser=analyser, name="map_fn")
+    if reduce_fn is not None:
+        ensure_certified(
+            reduce_fn, role="reduce", analyser=analyser, name="reduce_fn"
+        )
 
 
 def hash_partition(
@@ -34,18 +84,16 @@ def hash_partition(
     """Split ``table`` into ``n_partitions`` by a stable hash of ``key``.
 
     The default key is the record id; ER callers pass a blocking key so
-    that likely duplicates land in the same partition.
+    that likely duplicates land in the same partition.  Assignment uses
+    :func:`stable_digest`, so the same record lands in the same
+    partition in every process.
     """
     if n_partitions <= 0:
         raise WranglingError("n_partitions must be positive")
     key = key or (lambda record: record.rid)
     partitions: list[list[Record]] = [[] for __ in range(n_partitions)]
     for record in table.records:
-        # hash() is salted per process for str; use a stable digest instead.
-        digest = 0
-        for char in str(key(record)):
-            digest = (digest * 131 + ord(char)) % (2**31)
-        partitions[digest % n_partitions].append(record)
+        partitions[stable_digest(key(record)) % n_partitions].append(record)
     return [
         Table(f"{table.name}/part-{index}", table.schema, records)
         for index, records in enumerate(partitions)
@@ -58,8 +106,16 @@ def map_reduce(
     map_fn: Callable[[Table], M],
     reduce_fn: Callable[[Sequence[M]], R],
     key: Callable[[Record], object] | None = None,
+    strict: bool = False,
 ) -> R:
-    """Hash-partition, map each partition, reduce the partials."""
+    """Hash-partition, map each partition, reduce the partials.
+
+    With ``strict=True``, ``map_fn`` (and ``key``) must certify fan-out
+    safe and ``reduce_fn`` must not certify UNSAFE — see
+    :mod:`repro.analysis.parallel` — before anything runs.
+    """
+    if strict:
+        _ensure_strict(map_fn, reduce_fn, key)
     partials = [
         map_fn(partition)
         for partition in hash_partition(table, n_partitions, key)
@@ -72,6 +128,7 @@ def partitioned_resolve(
     resolver: EntityResolver,
     n_partitions: int,
     blocking_key: Callable[[Record], object],
+    strict: bool = False,
 ) -> ResolutionResult:
     """Entity resolution as partition-local ER plus a union of results.
 
@@ -80,7 +137,13 @@ def partitioned_resolve(
     independently and the clusters are concatenated.  Pairs split across
     partitions are missed — that recall loss versus single-node ER is
     precisely what experiment E7 measures.
+
+    With ``strict=True`` the blocking key and the resolver's ``resolve``
+    method must certify fan-out safe (ROW_LOCAL or PARTITION_LOCAL)
+    before any partition is resolved.
     """
+    if strict:
+        _ensure_strict(resolver.resolve, None, blocking_key)
     partitions = hash_partition(table, n_partitions, blocking_key)
     graph = nx.Graph()
     matched: dict[tuple[str, str], float] = {}

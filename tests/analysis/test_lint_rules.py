@@ -394,6 +394,59 @@ class TestRep013NoRawSleep:
         assert "REP013" not in rule_ids(result)
 
 
+class TestRep014NoSharedRng:
+    PATH = "src/repro/core/example.py"
+
+    def test_module_rng_call_fires(self):
+        assert_fires_then_suppresses(
+            "import random\nx = random.choice([1, 2])\n",
+            "REP014",
+            "import random\n"
+            "x = random.choice([1, 2])  # repro: noqa[REP014]\n",
+            path=self.PATH,
+        )
+
+    def test_rng_import_from_fires(self):
+        result = lint_source("from random import shuffle\n", path=self.PATH)
+        assert "REP014" in rule_ids(result)
+
+    def test_imported_rng_call_fires_twice(self):
+        result = lint_source(
+            "from random import shuffle\nshuffle(xs)\n", path=self.PATH
+        )
+        findings = [d for d in result.diagnostics if d.rule == "REP014"]
+        # Both the import and the call are flagged.
+        assert len(findings) == 2
+
+    def test_aliased_random_module_fires(self):
+        result = lint_source(
+            "import random as rnd\nrnd.seed(0)\n", path=self.PATH
+        )
+        assert "REP014" in rule_ids(result)
+
+    def test_seeded_random_instance_is_clean(self):
+        result = lint_source(
+            "import random\n"
+            "rng = random.Random(7)\n"
+            "value = rng.choice([1, 2])\n",
+            path=self.PATH,
+        )
+        assert "REP014" not in rule_ids(result)
+
+    def test_random_class_import_is_clean(self):
+        result = lint_source(
+            "from random import Random, SystemRandom\n", path=self.PATH
+        )
+        assert "REP014" not in rule_ids(result)
+
+    def test_datagen_layer_exempt(self):
+        result = lint_source(
+            "import random\nx = random.gauss(0, 1)\n",
+            path="src/repro/datagen/worlds.py",
+        )
+        assert "REP014" not in rule_ids(result)
+
+
 class TestSuppressionSyntax:
     def test_blanket_noqa_suppresses_all_rules(self):
         result = lint_source("assert print('x')  # repro: noqa\n")

@@ -1,0 +1,345 @@
+"""The parallel-safety certifier: one seeded defect fixture per PX rule,
+the four-level lattice, role handling, caching, and dataflow wiring."""
+
+import itertools
+import random
+import threading
+from random import choice
+
+import pytest
+
+from repro.analysis.parallel import (
+    ParallelAnalyser,
+    ParallelSafety,
+    certify_dataflow_parallel,
+    certify_parallel,
+)
+from repro.analysis.parallel.certifier import ensure_certified
+from repro.core.dataflow import Dataflow
+from repro.errors import ParallelSafetyError
+
+# -- seeded defect fixtures (one per rule) --------------------------------
+
+COUNTER = 0
+SHARED_ROWS: list = []
+_session_cache = {"mode": "fast"}
+_LOOKUP_TABLE = {"string": "jaro"}
+
+
+def row_local_clean(record):
+    return {"name": str(record).strip().lower()}
+
+
+def make_accumulator():
+    """PX001: the closure mutates a captured list."""
+    seen: list = []
+
+    def accumulate_rows(record):
+        seen.append(record)
+        return len(seen)
+
+    return accumulate_rows
+
+
+def make_counter():
+    """PX001: nonlocal rebinding of a captured variable."""
+    count = 0
+
+    def bump(record):
+        nonlocal count
+        count += 1
+        return count
+
+    return bump
+
+
+def bumps_global(record):
+    """PX002: global declaration + write."""
+    global COUNTER
+    COUNTER += 1
+    return record
+
+
+def hoards_globally(record):
+    """PX002: mutating method on a module-global container."""
+    SHARED_ROWS.append(record)
+    return record
+
+
+def reads_session_cache(record):
+    """PX003: reads module-global mutable state (not a constant)."""
+    return _session_cache["mode"]
+
+
+def reads_constant_table(record):
+    """ALL_CAPS module globals are constants by convention: no PX003."""
+    return _LOOKUP_TABLE["string"]
+
+
+def counts_rows(table):
+    """PX004: accumulates across loop iterations."""
+    total = 0
+    for _record in table:
+        total += 1
+    return total
+
+
+def pairwise_windows(xs):
+    """PX005: the zip(xs, xs[1:]) pairwise-window idiom."""
+    return [b for a, b in zip(xs, xs[1:])]
+
+
+def offset_reads(xs):
+    """PX005: index-offset reads depend on row order."""
+    return [xs[i - 1] for i in range(1, len(xs))]
+
+
+def running_totals(xs):
+    """PX005: itertools.accumulate is order-sensitive."""
+    return list(itertools.accumulate(xs))
+
+
+def draws_shared_rng(xs):
+    """PX006: random.choice draws from the process-wide generator."""
+    return random.choice(xs)
+
+
+def draws_imported_rng(xs):
+    """PX006: `from random import choice` binds the same shared state."""
+    return choice(xs)
+
+
+def seeded_rng_is_clean(xs):
+    rng = random.Random(7)
+    return rng.choice(xs)
+
+
+def make_locked():
+    """PX007: a captured lock cannot ship to a worker process."""
+    lock = threading.Lock()
+
+    def locked(record):
+        with lock:
+            return record
+
+    return locked
+
+
+NO_SOURCE = eval("lambda record: record")  # PX007: unlocatable source
+
+
+def order_dependent_reduce(partials):
+    """PX008: subtraction + positional partials special-casing."""
+    return partials[0] - sum(partials[1:])
+
+
+class Blackboard:
+    """A wrangler-shaped object whose node writes its own state."""
+
+    def __init__(self):
+        self.values: dict = {}
+
+    def put_node(self):
+        return lambda inputs: self.values.update(inputs)
+
+
+# -- rule-by-rule ---------------------------------------------------------
+
+
+def rules_of(certificate):
+    return sorted({f.rule for f in certificate.findings})
+
+
+class TestRuleFixtures:
+    def test_clean_function_is_row_local(self):
+        certificate = certify_parallel(row_local_clean)
+        assert certificate.level is ParallelSafety.ROW_LOCAL
+        assert certificate.findings == ()
+        assert certificate.fan_out_safe
+
+    def test_px001_captured_mutation(self):
+        certificate = certify_parallel(make_accumulator())
+        assert rules_of(certificate) == ["PX001"]
+        assert certificate.level is ParallelSafety.UNSAFE
+
+    def test_px001_nonlocal_rebinding(self):
+        certificate = certify_parallel(make_counter())
+        assert "PX001" in rules_of(certificate)
+        assert certificate.level is ParallelSafety.UNSAFE
+
+    def test_px002_global_write(self):
+        certificate = certify_parallel(bumps_global)
+        assert "PX002" in rules_of(certificate)
+        assert certificate.level is ParallelSafety.UNSAFE
+
+    def test_px002_global_container_mutation(self):
+        certificate = certify_parallel(hoards_globally)
+        assert rules_of(certificate) == ["PX002"]
+        assert certificate.level is ParallelSafety.UNSAFE
+
+    def test_px003_global_mutable_read(self):
+        certificate = certify_parallel(reads_session_cache)
+        assert rules_of(certificate) == ["PX003"]
+        assert certificate.level is ParallelSafety.GLOBAL
+        assert not certificate.fan_out_safe
+
+    def test_px003_exempts_constant_convention_names(self):
+        certificate = certify_parallel(reads_constant_table)
+        assert certificate.findings == ()
+        assert certificate.level is ParallelSafety.ROW_LOCAL
+
+    def test_px004_cross_row_accumulator(self):
+        certificate = certify_parallel(counts_rows)
+        assert rules_of(certificate) == ["PX004"]
+        assert certificate.level is ParallelSafety.PARTITION_LOCAL
+        assert certificate.fan_out_safe  # per partition, not per row
+
+    def test_px005_zip_window(self):
+        certificate = certify_parallel(pairwise_windows)
+        assert rules_of(certificate) == ["PX005"]
+        assert certificate.level is ParallelSafety.PARTITION_LOCAL
+
+    def test_px005_offset_index(self):
+        certificate = certify_parallel(offset_reads)
+        assert "PX005" in rules_of(certificate)
+
+    def test_px005_itertools_accumulate(self):
+        certificate = certify_parallel(running_totals)
+        assert "PX005" in rules_of(certificate)
+
+    def test_px006_shared_rng_attribute(self):
+        certificate = certify_parallel(draws_shared_rng)
+        assert rules_of(certificate) == ["PX006"]
+        assert certificate.level is ParallelSafety.UNSAFE
+
+    def test_px006_shared_rng_from_import(self):
+        certificate = certify_parallel(draws_imported_rng)
+        assert rules_of(certificate) == ["PX006"]
+
+    def test_seeded_rng_instance_is_clean(self):
+        certificate = certify_parallel(seeded_rng_is_clean)
+        assert certificate.findings == ()
+        assert certificate.level is ParallelSafety.ROW_LOCAL
+
+    def test_px007_captured_lock(self):
+        certificate = certify_parallel(make_locked())
+        assert rules_of(certificate) == ["PX007"]
+        assert certificate.level is ParallelSafety.UNSAFE
+
+    def test_px007_unlocatable_source(self):
+        certificate = certify_parallel(NO_SOURCE)
+        assert rules_of(certificate) == ["PX007"]
+        assert certificate.level is ParallelSafety.UNSAFE
+
+    def test_px008_fires_for_reduce_role_only(self):
+        as_reduce = certify_parallel(order_dependent_reduce, role="reduce")
+        assert rules_of(as_reduce) == ["PX008"]
+        assert as_reduce.level is ParallelSafety.GLOBAL
+        as_node = certify_parallel(order_dependent_reduce, role="node")
+        assert "PX008" not in rules_of(as_node)
+
+
+class TestLevelsAndRoles:
+    def test_safe_builtins_are_row_local(self):
+        for builtin in (len, sum, min, max, sorted):
+            certificate = certify_parallel(builtin)
+            assert certificate.level is ParallelSafety.ROW_LOCAL
+            assert certificate.notes
+
+    def test_unknown_builtin_is_unsafe(self):
+        certificate = certify_parallel(print)
+        assert certificate.level is ParallelSafety.UNSAFE
+        assert rules_of(certificate) == ["PX007"]
+
+    def test_rank_order(self):
+        ranks = [
+            ParallelSafety.UNSAFE.rank,
+            ParallelSafety.GLOBAL.rank,
+            ParallelSafety.PARTITION_LOCAL.rank,
+            ParallelSafety.ROW_LOCAL.rank,
+        ]
+        assert ranks == sorted(ranks)
+        assert not ParallelSafety.GLOBAL.fan_out_safe
+        assert ParallelSafety.PARTITION_LOCAL.fan_out_safe
+
+    def test_self_write_is_sanctioned_but_global(self):
+        certificate = certify_parallel(Blackboard().put_node())
+        assert certificate.findings == ()
+        assert certificate.level is ParallelSafety.GLOBAL
+        assert any("sanctioned" in note for note in certificate.notes)
+
+    def test_render_and_to_dict(self):
+        certificate = certify_parallel(make_accumulator())
+        assert certificate.render().startswith("unsafe: PX001")
+        payload = certificate.to_dict()
+        assert payload["level"] == "unsafe"
+        assert payload["fan_out_safe"] is False
+        assert payload["findings"][0]["rule"] == "PX001"
+
+
+class TestEnsureCertified:
+    def test_refuses_unsafe_map(self):
+        with pytest.raises(ParallelSafetyError) as failure:
+            ensure_certified(make_accumulator(), role="map")
+        assert failure.value.certificate is not None
+        assert "PX001" in str(failure.value)
+
+    def test_refuses_global_map(self):
+        with pytest.raises(ParallelSafetyError):
+            ensure_certified(reads_session_cache, role="map")
+
+    def test_reduce_accepts_global_refuses_unsafe(self):
+        certificate = ensure_certified(order_dependent_reduce, role="reduce")
+        assert certificate.level is ParallelSafety.GLOBAL
+        with pytest.raises(ParallelSafetyError):
+            ensure_certified(make_accumulator(), role="reduce")
+
+    def test_accepts_builtins(self):
+        assert ensure_certified(len, role="map").fan_out_safe
+        assert ensure_certified(sum, role="reduce") is not None
+
+
+class TestAnalyserCaching:
+    def test_certificates_cached_per_code_and_role(self):
+        analyser = ParallelAnalyser()
+        first = analyser.certify(counts_rows)
+        second = analyser.certify(counts_rows)
+        assert first is second
+        as_reduce = analyser.certify(counts_rows, role="reduce")
+        assert as_reduce is not first  # separate cache entry per role
+
+    def test_shares_purity_ast_cache(self):
+        analyser = ParallelAnalyser()
+        analyser.certify(counts_rows)
+        analyser.certify(pairwise_windows)
+        # Both fixtures live in this file: parsed once.
+        assert len([t for t in analyser._ast_cache.values() if t]) == 1
+
+
+class TestDataflowCertification:
+    def build_flow(self):
+        flow = Dataflow()
+        flow.add("safe", row_local_clean)
+        flow.add("racy", make_accumulator(), ("safe",))
+        return flow
+
+    def test_certify_parallel_records_levels_on_nodes(self):
+        flow = self.build_flow()
+        certificates = flow.certify_parallel()
+        assert certificates["safe"].level is ParallelSafety.ROW_LOCAL
+        assert certificates["racy"].level is ParallelSafety.UNSAFE
+        assert flow.parallel_map() == {
+            "safe": "row_local", "racy": "unsafe",
+        }
+
+    def test_helper_uses_the_engine_hook(self):
+        flow = self.build_flow()
+        certificates = certify_dataflow_parallel(flow)
+        assert set(certificates) == {"safe", "racy"}
+        assert flow.parallel_map()["racy"] == "unsafe"
+
+    def test_node_stats_carry_parallel_level(self):
+        flow = self.build_flow()
+        assert flow.node_stats()["safe"]["parallel"] is None
+        flow.certify_parallel()
+        assert flow.node_stats()["safe"]["parallel"] == "row_local"

@@ -1,0 +1,69 @@
+"""Expected-certification snapshot over the shipped example plans.
+
+``make parallel-check`` and CI run this: every bundled plan must certify
+with exactly the committed node→level map (no UNSAFE node anywhere), and
+the certifier must be deterministic — two fresh runs over the unchanged
+tree produce byte-identical reports.  Regenerate the snapshot after a
+deliberate certification change with::
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from repro.analysis.parallel.cli import check_paths
+    result = check_paths(["examples"])
+    snapshot = {
+        path: {name: cert.level.value for name, cert in certs}
+        for path, certs in result.certificates
+    }
+    with open("tests/analysis/parallel_certification.json", "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\\n")
+    PY
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.parallel.cli import _render_json, check_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SNAPSHOT = Path(__file__).with_name("parallel_certification.json")
+
+
+@pytest.fixture(scope="module")
+def examples_result():
+    cwd = os.getcwd()
+    os.chdir(REPO_ROOT)
+    try:
+        yield check_paths(["examples"])
+    finally:
+        os.chdir(cwd)
+
+
+class TestExamplesCertification:
+    def test_matches_committed_snapshot(self, examples_result):
+        expected = json.loads(SNAPSHOT.read_text())
+        actual = {
+            path: {name: cert.level.value for name, cert in certs}
+            for path, certs in examples_result.certificates
+        }
+        assert actual == expected
+
+    def test_no_unsafe_node_in_bundled_examples(self, examples_result):
+        assert examples_result.unsafe_nodes == ()
+        assert examples_result.ok
+
+    def test_all_five_plans_certified(self, examples_result):
+        assert examples_result.checked_plans == 5
+        assert examples_result.nodes >= 100
+
+    def test_reports_are_byte_identical_across_runs(self, examples_result):
+        cwd = os.getcwd()
+        os.chdir(REPO_ROOT)
+        try:
+            rerun = check_paths(["examples"])
+        finally:
+            os.chdir(cwd)
+        assert _render_json(rerun) == _render_json(examples_result)

@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-json typecheck parallel-check bench-smoke chaos check
+.PHONY: test lint lint-json typecheck parallel-check bench-smoke bench-parallel chaos check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,15 @@ bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_e10_repair.py -q -p no:cacheprovider
 	$(PYTHON) -m repro.obs.report benchmarks/results/E10-repair.telemetry.json --validate-only
 
+# The parallel-executor baseline: sequential vs parallel=2/4 on the E7a
+# workload through partitioned_resolve, emitting BENCH_parallel_er.json
+# (speedup assertions are gated on the cores actually available; the
+# determinism assertions — identical clusters and stable ids across
+# backends — hold on any machine).
+bench-parallel:
+	$(PYTHON) -m pytest benchmarks/bench_parallel.py -q -p no:cacheprovider
+	$(PYTHON) -m repro.obs.report benchmarks/results/BENCH-parallel-er.telemetry.json --validate-only
+
 # The chaos harness end to end: the resilience benchmark (seeded fault
 # injection through a full Wrangler.run), its telemetry schema-checked,
 # then REP013 over sources and tests — nothing outside repro.resilience
@@ -41,4 +50,4 @@ chaos:
 	$(PYTHON) -m repro.obs.report benchmarks/results/E11-resilience.telemetry.json --validate-only
 	$(PYTHON) -m repro.analysis.lint src/repro tests benchmarks --select REP013
 
-check: test lint typecheck parallel-check bench-smoke chaos
+check: test lint typecheck parallel-check bench-smoke bench-parallel chaos

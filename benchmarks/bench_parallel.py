@@ -1,0 +1,150 @@
+"""BENCH — parallel execution baseline: sequential vs process fan-out.
+
+The E7a workload (800 offer rows, 8 partitions, profiled name comparator,
+suffix blocking key, strict certification) pushed through
+``partitioned_resolve`` on each executor backend.  Emits the first
+``BENCH_*.json`` baseline so future PRs can diff parallel speedups, plus
+a schema-checked telemetry snapshot.
+
+Speedup assertions are gated on the cores actually available: the
+determinism contract (identical clusters, identical stable ids) holds on
+any machine, but a 1-core container cannot exhibit a 2x speedup and the
+benchmark does not pretend otherwise — the honest numbers and the core
+count land in the JSON either way.
+"""
+
+import json
+import os
+
+from repro.core.executor import ParallelExecutor, SequentialExecutor
+from repro.model.records import Table
+from repro.resolution.comparison import profiled_comparator
+from repro.resolution.er import EntityResolver
+from repro.resolution.rules import ThresholdRule
+from repro.scale.partition import partitioned_resolve
+
+from bench_e7_scale import offers_table
+from helpers import (
+    RESULTS_DIR,
+    bench_telemetry,
+    emit,
+    emit_telemetry,
+    format_table,
+    timed,
+)
+
+N_ROWS = 800
+N_PARTITIONS = 8
+WORKER_COUNTS = (2, 4)
+
+
+def blocking_key(record):
+    return str(record.raw("name")).split()[-1]
+
+
+def make_resolver(table: Table) -> EntityResolver:
+    comparator = profiled_comparator(table.schema, table, attributes=["name"])
+    return EntityResolver(
+        comparator=comparator,
+        rule=ThresholdRule(0.95),
+        small_table_cutoff=10**9,
+    )
+
+
+def cluster_ids(result):
+    return [cluster.cluster_id for cluster in result.clusters]
+
+
+def test_bench_parallel_er():
+    telemetry = bench_telemetry()
+    table = offers_table(N_ROWS, seed=N_ROWS)
+    resolver = make_resolver(table)
+
+    def run(executor):
+        return partitioned_resolve(
+            table,
+            resolver,
+            N_PARTITIONS,
+            blocking_key=blocking_key,
+            strict=True,
+            executor=executor,
+        )
+
+    with SequentialExecutor() as sequential:
+        baseline, baseline_time = timed(
+            telemetry, "bench.sequential", lambda: run(sequential)
+        )
+
+    timings = {"sequential": baseline_time}
+    speedups = {}
+    clusters_equal = True
+    for workers in WORKER_COUNTS:
+        with ParallelExecutor(workers) as executor:
+            result, elapsed = timed(
+                telemetry,
+                f"bench.parallel-{workers}",
+                lambda: run(executor),
+                workers=workers,
+            )
+        timings[f"parallel-{workers}"] = elapsed
+        speedups[f"parallel-{workers}"] = (
+            baseline_time / elapsed if elapsed else 0.0
+        )
+        equal = cluster_ids(result) == cluster_ids(baseline)
+        clusters_equal = clusters_equal and equal
+        # The determinism contract holds on any machine.
+        assert equal, f"parallel={workers} produced different clusters"
+        assert result.compared == baseline.compared
+
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        assert speedups["parallel-4"] >= 2.0, (
+            f"expected >=2x at parallel=4 on {cores} cores, got "
+            f"{speedups['parallel-4']:.2f}x"
+        )
+    elif cores >= 2:
+        assert speedups["parallel-2"] >= 1.2, (
+            f"expected >=1.2x at parallel=2 on {cores} cores, got "
+            f"{speedups['parallel-2']:.2f}x"
+        )
+
+    baseline_record = {
+        "experiment": "BENCH_parallel_er",
+        "workload": {
+            "rows": N_ROWS,
+            "partitions": N_PARTITIONS,
+            "comparator": "profiled:name",
+            "blocking_key": "name suffix",
+            "pairs_compared": baseline.compared,
+        },
+        "cpu_count": cores,
+        "timings_seconds": {
+            name: round(value, 4) for name, value in timings.items()
+        },
+        "speedups": {
+            name: round(value, 3) for name, value in speedups.items()
+        },
+        "clusters": len(baseline.clusters),
+        "clusters_equal_across_backends": clusters_equal,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_parallel_er.json").write_text(
+        json.dumps(baseline_record, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    emit_telemetry("BENCH-parallel-er", telemetry.snapshot())
+    rows = [
+        [
+            name,
+            f"{timings[name]:.2f}",
+            f"{speedups.get(name, 1.0):.2f}x",
+        ]
+        for name in timings
+    ]
+    emit(
+        "BENCH-parallel-er",
+        format_table(["backend", "seconds", "speedup"], rows)
+        + f"\ncores={cores} clusters={len(baseline.clusters)} "
+        f"pairs={baseline.compared}",
+    )

@@ -185,13 +185,118 @@ class Dataflow:
             if not (node.clean and self._replayable(node)):
                 self._recompute(node)
 
-    def pull(self, name: str) -> Any:
+    def _absorb(self, node: _Node, value: Any, elapsed: float) -> None:
+        """Install one worker-computed result, mirroring ``_recompute``.
+
+        Counters, the per-node span, the compute-seconds histogram, and
+        the miss counter all behave exactly as an inline recomputation —
+        the span is emitted on the coordinator (its own duration is ~0;
+        the worker's measured ``elapsed`` lands in the histogram and the
+        node's ``seconds``), so a fanned-out sweep exports the same
+        telemetry shape as a sequential one.
+        """
+        if self.telemetry is not None:
+            with self.telemetry.tracer.span(
+                f"dataflow:{node.name}",
+                node=node.name,
+                stage=node.stage,
+            ):
+                pass
+            self.telemetry.metrics.histogram(
+                "dataflow.compute_seconds"
+            ).observe(elapsed)
+            self.telemetry.metrics.counter("dataflow.misses").increment()
+        else:
+            elapsed = 0.0
+        node.value = value
+        node.seconds += elapsed
+        node.clean = True
+        node.runs += 1
+
+    def _parallel_sweep(self, names: Iterable[str], executor: Any) -> None:
+        """Recompute dirty nodes in dependency waves, fanning out when safe.
+
+        Each wave is the set of still-dirty nodes whose dependencies have
+        all been computed.  Within a wave, nodes whose certificate is
+        fan-out safe (ROW_LOCAL/PARTITION_LOCAL, recorded by
+        :meth:`certify_parallel`) and whose ``(compute, inputs)`` payload
+        pickles are shipped as one batch; everything else — GLOBAL,
+        UNSAFE, uncertified, or unpicklable — falls back to an inline
+        :meth:`_recompute` with a fallback note on the executor.  Results
+        are absorbed in wave order, then inline nodes run in topological
+        order, so counters and spans come out in a deterministic order
+        for any worker count.
+        """
+        from repro.core.executor import FAN_OUT_LEVELS, _invoke_node
+
+        pending = [
+            name
+            for name in names
+            if not (
+                self._nodes[name].clean
+                and self._replayable(self._nodes[name])
+            )
+        ]
+        pending_set = set(pending)
+        while pending:
+            wave = [
+                name
+                for name in pending
+                if all(
+                    dependency not in pending_set
+                    for dependency in self._nodes[name].dependencies
+                )
+            ]
+            shipped: list[tuple[_Node, Any]] = []
+            inline: list[_Node] = []
+            for name in wave:
+                node = self._nodes[name]
+                if node.parallel in FAN_OUT_LEVELS:
+                    payload = (
+                        node.compute,
+                        {
+                            dependency: self._nodes[dependency].value
+                            for dependency in node.dependencies
+                        },
+                    )
+                    if executor.ship_or_note(
+                        f"dataflow:{name}", payload
+                    ):
+                        shipped.append((node, payload))
+                        continue
+                else:
+                    executor.note_fallback(
+                        f"dataflow:{name}",
+                        f"certified {node.parallel or 'uncertified'}",
+                    )
+                inline.append(node)
+            if shipped:
+                for node, _payload in shipped:
+                    executor.note_fan_out(f"dataflow:{node.name}")
+                results = executor.map(
+                    _invoke_node, [payload for _node, payload in shipped]
+                )
+                for (node, _payload), (value, elapsed) in zip(
+                    shipped, results
+                ):
+                    self._absorb(node, value, elapsed)
+            for node in inline:
+                self._recompute(node)
+            pending_set.difference_update(wave)
+            pending = [name for name in pending if name in pending_set]
+
+    def pull(self, name: str, executor: Any = None) -> Any:
         """The node's current value, recomputing only the dirty cone.
 
         A clean node is a cache hit and returns immediately.  A dirty
         node derives its ancestor cone **once** and sweeps it in the
         (cached) topological order — not once per ancestor, which is what
         made full refreshes quadratic before.
+
+        With an ``executor`` (see :mod:`repro.core.executor`), the dirty
+        cone is swept in dependency waves and independent fan-out-safe
+        nodes are computed in worker processes — see
+        :meth:`_parallel_sweep` for the gate and the fallback semantics.
         """
         node = self._require(name)
         if node.clean and self._replayable(node):
@@ -200,24 +305,34 @@ class Dataflow:
             return node.value
         cone = nx.ancestors(self._graph, name)
         cone.add(name)
-        self._sweep(n for n in self._topo_order() if n in cone)
+        ordered = (n for n in self._topo_order() if n in cone)
+        if executor is None:
+            self._sweep(ordered)
+        else:
+            self._parallel_sweep(ordered, executor)
         return node.value
 
-    def pull_all(self) -> None:
+    def pull_all(self, executor: Any = None) -> None:
         """Bring every node up to date in a single topological sweep.
 
         Equivalent to pulling each node in turn — the per-node ``runs``
         and ``hits`` counters come out identical — but does one pass over
         the cached order instead of re-deriving ancestors and a fresh
-        topological sort per node.
+        topological sort per node.  ``executor`` fans out as in
+        :meth:`pull`.
         """
+        dirty: list[str] = []
         for name in self._topo_order():
             node = self._nodes[name]
             if node.clean and self._replayable(node):
                 node.hits += 1
                 self._count("dataflow.hits")
             else:
-                self._recompute(node)
+                dirty.append(name)
+        if executor is None:
+            self._sweep(dirty)
+        else:
+            self._parallel_sweep(dirty, executor)
 
     def _count(self, metric: str) -> None:
         if self.telemetry is not None:

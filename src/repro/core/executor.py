@@ -1,0 +1,299 @@
+"""Pluggable execution backends: the engine side of PX-gated fan-out.
+
+Section 4.3 asks for extraction, integration and querying to "be executed
+using such platforms" as map/reduce.  PR 5 built the gate — the
+PX001–PX008 parallel-safety certifier — and this module is the engine
+that fans out under it:
+
+* :class:`SequentialExecutor` — the default backend.  Runs every batch
+  inline, in submission order, so ``Wrangler.run(parallel=1)`` is
+  byte-identical to today's sequential path while exercising the same
+  orchestration (gating, chunking, merge) as the parallel backend.
+* :class:`ParallelExecutor` — a ``concurrent.futures``-backed pool.
+  ``map`` ships picklable payloads to worker *processes*;
+  ``map_local`` runs coordinator-state-touching thunks on a bounded
+  *thread* pool (the acquisition batcher: the pool size is the rate
+  limit on concurrent source access).
+
+The safety policy mirrors the strict fan-out contract of
+:func:`repro.analysis.parallel.ensure_certified`:
+
+* **process fan-out** (``gate_process``) requires every gated callable to
+  certify ROW_LOCAL or PARTITION_LOCAL — a GLOBAL callable closes over
+  coordinator state a forked worker would silently diverge from;
+* **thread fan-out** (``gate_thread``) refuses only UNSAFE — the work
+  still runs in the coordinator process, where the shared state a GLOBAL
+  certificate points at actually lives, so only certified races are
+  grounds for refusal.
+
+A refused (or unpicklable) batch *falls back to sequential* and the
+refusal is noted: ``note_fallback`` feeds both the ``executor.fallbacks``
+counter and the run span's ``executor_fallback_sites`` attribute, so a
+run that silently did less fanning out than asked is visible in
+telemetry.  All merge points are order-preserving — ``map``/``map_local``
+return results in submission order — which is what makes a parallel
+``WrangleResult`` equal to the sequential one modulo timing fields.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from concurrent.futures import ThreadPoolExecutor as _ThreadPool
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import WranglingError
+from repro.obs import SystemClock, Telemetry
+
+__all__ = [
+    "FAN_OUT_LEVELS",
+    "Executor",
+    "ParallelExecutor",
+    "SequentialExecutor",
+]
+
+T = TypeVar("T")
+
+#: Certificate levels the engine may ship to another process — the same
+#: set :meth:`repro.analysis.parallel.ParallelSafety.fan_out_safe` accepts.
+FAN_OUT_LEVELS = frozenset({"row_local", "partition_local"})
+
+
+def _invoke_node(payload: tuple[Callable[..., Any], dict[str, Any]]):
+    """Worker body for one shipped dataflow node: compute(inputs), timed.
+
+    The elapsed seconds come back with the value so the coordinator can
+    keep the node's ``seconds`` counter and the ``dataflow.compute_seconds``
+    histogram honest about where compute time was really spent.
+    """
+    compute, inputs = payload
+    clock = SystemClock()
+    started = clock.current_time()
+    value = compute(inputs)
+    return value, clock.current_time() - started
+
+
+def _describe(fn: Callable[..., Any]) -> str:
+    return getattr(fn, "__qualname__", None) or getattr(
+        fn, "__name__", None
+    ) or repr(fn)
+
+
+class Executor:
+    """The execution backend contract plus shared gating and accounting.
+
+    The base class *is* the sequential backend: ``map`` and ``map_local``
+    run inline in submission order.  Subclasses override only the
+    execution methods; gating, chunking, fallback notes, and telemetry
+    publication are identical across backends — which is why the
+    ``executor.*`` counters come out byte-identical across
+    ``parallel=1/2/4``.
+    """
+
+    kind = "sequential"
+
+    def __init__(self, max_workers: int = 1) -> None:
+        if max_workers < 1:
+            raise WranglingError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        self.max_workers = int(max_workers)
+        #: One entry per fan-out decision (a *site*, not a chunk count —
+        #: chunking varies with max_workers, decisions do not).
+        self.fan_outs: list[str] = []
+        #: Every refusal to fan out: ``(site, reason)``.
+        self.fallbacks: list[tuple[str, str]] = []
+        self._analyser: Any = None
+
+    # -- PX gating ---------------------------------------------------------
+
+    def _certificate(self, fn: Callable[..., Any]):
+        # core (rank 7) sits above analysis (rank 6): the executor is the
+        # one engine component allowed to consult the certifier directly.
+        from repro.analysis.parallel import ParallelAnalyser
+
+        if self._analyser is None:
+            self._analyser = ParallelAnalyser()
+        return self._analyser.certify(fn, role="map")
+
+    def gate_process(self, site: str, *callables: Callable[..., Any]) -> bool:
+        """Whether every callable may run in a forked worker process.
+
+        Requires ROW_LOCAL or PARTITION_LOCAL; a refusal notes the site
+        and the offending certificate, and the caller runs sequentially.
+        """
+        for fn in callables:
+            certificate = self._certificate(fn)
+            if not certificate.level.fan_out_safe:
+                self.note_fallback(
+                    site,
+                    f"{_describe(fn)} certified "
+                    f"{certificate.level.value}",
+                )
+                return False
+        return True
+
+    def gate_thread(self, site: str, *callables: Callable[..., Any]) -> bool:
+        """Whether every callable may run on a coordinator thread.
+
+        Threads share the coordinator's memory, so GLOBAL state is where
+        it always was — only an UNSAFE certificate (a certified race) is
+        grounds for refusal, mirroring the reduce-side policy of
+        :func:`repro.analysis.parallel.ensure_certified`.
+        """
+        from repro.analysis.parallel import ParallelSafety
+
+        for fn in callables:
+            certificate = self._certificate(fn)
+            if certificate.level is ParallelSafety.UNSAFE:
+                self.note_fallback(
+                    site, f"{_describe(fn)} certified unsafe"
+                )
+                return False
+        return True
+
+    # -- shipping ----------------------------------------------------------
+
+    def can_ship(self, payload: Any) -> bool:
+        """Whether a payload crosses the process boundary (pickles)."""
+        try:
+            pickle.dumps(payload)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # PicklingError for unregistered types, TypeError for
+            # unpicklable builtins (locks, generators), AttributeError
+            # for closures and local classes.
+            return False
+        return True
+
+    def ship_or_note(self, site: str, payload: Any) -> bool:
+        """``can_ship``, noting the fallback when the answer is no."""
+        if self.can_ship(payload):
+            return True
+        self.note_fallback(site, "payload not picklable")
+        return False
+
+    def chunk(self, items: Sequence[T]) -> list[list[T]]:
+        """Contiguous, near-equal chunks sized to the worker count.
+
+        Contiguity is what makes the merge deterministic: concatenating
+        per-chunk results in chunk order reproduces the input order
+        exactly, whatever ``max_workers`` is.
+        """
+        items = list(items)
+        if not items:
+            return []
+        n_chunks = max(1, min(len(items), self.max_workers * 4))
+        size, extra = divmod(len(items), n_chunks)
+        chunks: list[list[T]] = []
+        start = 0
+        for index in range(n_chunks):
+            end = start + size + (1 if index < extra else 0)
+            chunks.append(items[start:end])
+            start = end
+        return chunks
+
+    # -- accounting --------------------------------------------------------
+
+    def note_fan_out(self, site: str) -> None:
+        """Record one fan-out decision at ``site``."""
+        self.fan_outs.append(site)
+
+    def note_fallback(self, site: str, reason: str) -> None:
+        """Record one refusal to fan out at ``site``."""
+        self.fallbacks.append((site, reason))
+
+    def fan_out_sites(self) -> list[str]:
+        """The distinct sites that fanned out, sorted."""
+        return sorted(set(self.fan_outs))
+
+    def fallback_notes(self) -> list[str]:
+        """The distinct ``site: reason`` refusals, sorted."""
+        return sorted({f"{site}: {reason}" for site, reason in self.fallbacks})
+
+    def publish(self, telemetry: Telemetry) -> None:
+        """Emit the run's fan-out accounting as ``executor.*`` counters."""
+        if self.fan_outs:
+            telemetry.metrics.counter("executor.fan_outs").increment(
+                len(self.fan_outs)
+            )
+        if self.fallbacks:
+            telemetry.metrics.counter("executor.fallbacks").increment(
+                len(self.fallbacks)
+            )
+
+    # -- execution ---------------------------------------------------------
+
+    def map(
+        self, fn: Callable[[Any], T], payloads: Iterable[Any]
+    ) -> list[T]:
+        """Apply ``fn`` to each payload; results in submission order."""
+        return [fn(payload) for payload in payloads]
+
+    def map_local(self, thunks: Sequence[Callable[[], T]]) -> list[T]:
+        """Run zero-argument thunks in-process; results in submission
+        order."""
+        return [thunk() for thunk in thunks]
+
+    def shutdown(self) -> None:
+        """Release any pooled workers (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+
+class SequentialExecutor(Executor):
+    """The default backend: everything inline, nothing shipped.
+
+    Exists as a named class (rather than using :class:`Executor` bare) so
+    call sites and telemetry can say which backend ran.
+    """
+
+    kind = "sequential"
+
+
+class ParallelExecutor(Executor):
+    """Process fan-out for certified work, bounded threads for the rest.
+
+    The process pool is created lazily (first ``map`` with more than one
+    payload) and forked workers are reused across batches; ``shutdown``
+    (or exiting the context manager) releases them.  Thread pools for
+    ``map_local`` are per-batch — acquisition happens once per run, and a
+    bounded pool doubles as the rate limit on concurrent source access.
+    """
+
+    kind = "process"
+
+    def __init__(self, max_workers: int) -> None:
+        super().__init__(max_workers)
+        self._pool: _ProcessPool | None = None
+
+    def _ensure_pool(self) -> _ProcessPool:
+        if self._pool is None:
+            self._pool = _ProcessPool(max_workers=self.max_workers)
+        return self._pool
+
+    def map(
+        self, fn: Callable[[Any], T], payloads: Iterable[Any]
+    ) -> list[T]:
+        batch = list(payloads)
+        if len(batch) <= 1:
+            return [fn(payload) for payload in batch]
+        return list(self._ensure_pool().map(fn, batch))
+
+    def map_local(self, thunks: Sequence[Callable[[], T]]) -> list[T]:
+        batch = list(thunks)
+        if len(batch) <= 1:
+            return [thunk() for thunk in batch]
+        with _ThreadPool(
+            max_workers=min(self.max_workers, len(batch))
+        ) as pool:
+            futures = [pool.submit(thunk) for thunk in batch]
+            return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None

@@ -22,6 +22,7 @@ from repro.obs.telemetry import (
     SCHEMA_NAME,
     SCHEMA_VERSION,
     Telemetry,
+    scrub_timings,
     validate_telemetry,
 )
 from repro.obs.trace import Span, Tracer
@@ -39,6 +40,7 @@ __all__ = [
     "SystemClock",
     "Telemetry",
     "Tracer",
+    "scrub_timings",
     "system_clock",
     "validate_telemetry",
 ]

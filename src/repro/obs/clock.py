@@ -16,6 +16,7 @@ must be distinguishable from a wall-clock read at the AST level.
 from __future__ import annotations
 
 import datetime as _dt
+import threading as _threading
 import time as _time
 from abc import ABC, abstractmethod
 
@@ -91,10 +92,14 @@ class ManualClock(Clock):
         self._start_datetime = _dt.datetime.combine(
             today or _dt.date(2016, 3, 15), _dt.time.min
         )
+        # Concurrent acquisition waits on this clock from worker threads;
+        # the read-modify-write in advance() must not lose updates.
+        self._lock = _threading.Lock()
 
     def current_time(self) -> float:
         """Seconds advanced so far (plus the configured start)."""
-        return self._time
+        with self._lock:
+            return self._time
 
     def current_date(self) -> _dt.date:
         """The configured date, moved forward by whole advanced days."""
@@ -115,8 +120,9 @@ class ManualClock(Clock):
                 f"cannot advance a clock by {seconds} seconds: time is "
                 "monotonic"
             )
-        self._time += float(seconds)
-        return self._time
+        with self._lock:
+            self._time += float(seconds)
+            return self._time
 
 
 #: The default clock shared by components not handed an explicit one.

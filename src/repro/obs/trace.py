@@ -10,12 +10,21 @@ how long — without print statements or profilers.
 Spans close even when the body raises (the exception is recorded as the
 ``error`` attribute and re-raised), so a failing pipeline still exports a
 complete trace.
+
+The tracer is thread-compatible for the engine's fan-out shape: the open
+-span stack is **thread-local**, so spans opened on a worker thread nest
+under that thread's context, never under another thread's.  A worker
+thread starts with an empty stack; the coordinator pre-creates one span
+per task with :meth:`Tracer.open` (deterministic order) and the task
+grafts itself under it with :meth:`Tracer.attach` — finished roots are
+appended under a lock.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+import threading
 from contextlib import contextmanager
 from typing import Any, Iterator
 
@@ -66,15 +75,26 @@ class Tracer:
     def __init__(self, clock: Clock | None = None) -> None:
         self.clock = clock or system_clock
         self.spans: list[Span] = []
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._roots_lock = threading.Lock()
+
+    @property
+    def _stack(self) -> list[Span]:
+        """This thread's open-span stack (created empty on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
 
     @contextmanager
     def span(self, name: str, **attributes: Any) -> Iterator[Span]:
         """A context manager timing one region; nests under any open span."""
+        stack = self._stack
         opened = Span(name, self.clock.current_time(), dict(attributes))
-        if self._stack:
-            self._stack[-1].children.append(opened)
-        self._stack.append(opened)
+        if stack:
+            stack[-1].children.append(opened)
+        stack.append(opened)
         try:
             yield opened
         finally:
@@ -84,19 +104,66 @@ class Tracer:
             if failure is not None:
                 opened.set_attribute("error", repr(failure))
             opened.end = self.clock.current_time()
-            popped = self._stack.pop()
+            popped = stack.pop()
             if popped is not opened:
                 raise TelemetryError(
                     f"span nesting corrupted: closed {opened.name!r} but "
                     f"{popped.name!r} was on top"
                 )
-            if not self._stack:
-                self.spans.append(opened)
+            if not stack:
+                with self._roots_lock:
+                    self.spans.append(opened)
+
+    def open(self, name: str, **attributes: Any) -> Span:
+        """Create a span under the current context without entering it.
+
+        The coordinator's half of the fan-out handshake: pre-creating one
+        span per task in submission order pins where each task's trace
+        lands — deterministically — before any worker thread runs.  The
+        caller must :meth:`close` it; a task run on another thread nests
+        its own spans under it via :meth:`attach`.
+        """
+        stack = self._stack
+        opened = Span(name, self.clock.current_time(), dict(attributes))
+        opened.adopted = bool(stack)
+        if stack:
+            stack[-1].children.append(opened)
+        return opened
+
+    def close(self, span: Span) -> None:
+        """Finish a span created with :meth:`open`."""
+        if span.end is not None:
+            raise TelemetryError(f"span {span.name!r} is already closed")
+        span.end = self.clock.current_time()
+        if not getattr(span, "adopted", False):
+            with self._roots_lock:
+                self.spans.append(span)
+
+    @contextmanager
+    def attach(self, span: Span) -> Iterator[Span]:
+        """Make ``span`` the current context on *this* thread.
+
+        The worker's half of the handshake: everything the body opens
+        nests under ``span`` (which the coordinator created and will
+        close).  The body must leave the stack balanced.
+        """
+        stack = self._stack
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            popped = stack.pop()
+            if popped is not span:
+                raise TelemetryError(
+                    f"span nesting corrupted: detached {span.name!r} but "
+                    f"{popped.name!r} was on top"
+                )
 
     @property
     def active(self) -> Span | None:
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span on this thread, if any."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     def find(self, name: str) -> list[Span]:
         """Every finished span (at any depth) with the given name."""

@@ -13,6 +13,7 @@ same seeds and the same manual clock produce byte-identical JSON.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -90,13 +91,17 @@ class DegradationLedger:
 
     def __init__(self) -> None:
         self._sources: dict[str, SourceDisposition] = {}
+        # Concurrent acquisition writes from one thread per source, but
+        # the entry map itself is shared — guard its mutations.
+        self._lock = threading.Lock()
 
     def _entry(self, name: str) -> SourceDisposition:
-        entry = self._sources.get(name)
-        if entry is None:
-            entry = SourceDisposition(name)
-            self._sources[name] = entry
-        return entry
+        with self._lock:
+            entry = self._sources.get(name)
+            if entry is None:
+                entry = SourceDisposition(name)
+                self._sources[name] = entry
+            return entry
 
     def record_attempt(self, name: str, record: AttemptRecord) -> None:
         """Append one physical attempt's record for ``name``."""

@@ -13,7 +13,12 @@ from repro.resolution.comparison import (
     geo_similarity,
     profiled_comparator,
 )
-from repro.resolution.er import EntityCluster, EntityResolver, ResolutionResult
+from repro.resolution.er import (
+    EntityCluster,
+    EntityResolver,
+    ResolutionResult,
+    stable_cluster_id,
+)
 from repro.resolution.rules import (
     LearnedRule,
     MatchDecision,
@@ -37,5 +42,6 @@ __all__ = [
     "geo_similarity",
     "recall_of",
     "sorted_neighbourhood",
+    "stable_cluster_id",
     "token_blocking",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.errors import ResolutionError
 from repro.matching.similarity import token_set
 from repro.model.records import Table
 
@@ -66,9 +67,29 @@ def sorted_neighbourhood(
 ) -> set[tuple[int, int]]:
     """Candidate pairs within a sliding window over the sorted key attribute.
 
-    Records missing the key are appended at the end (they still meet their
-    window neighbours, so a missing key does not exempt a record from ER).
+    The candidate set is exactly the pairs at sorted-rank distance below
+    ``window``.  The generation loop only pairs each record with the
+    ``window - 1`` records *following* it, which looks like trailing
+    records get truncated windows — but pairing is symmetric: a trailing
+    record already met every earlier neighbour as that neighbour's
+    right-hand partner, so every record (first and last included) gets
+    ``min(window - 1, len(table) - 1)``-bounded partners on each side and
+    no rank-adjacent pair is ever dropped.  ``window >= len(table)``
+    therefore degenerates to :func:`full_pairs`.
+
+    Records missing the key are appended at the end in stable input
+    order (they still meet their window neighbours, so a missing key
+    does not exempt a record from ER).
+
+    ``window < 2`` is refused: a window that cannot hold two records
+    generates no candidates at all, which is a configuration defect, not
+    a blocking strategy.
     """
+    if window < 2:
+        raise ResolutionError(
+            f"sorted_neighbourhood window must be at least 2, got {window}: "
+            "a smaller window generates no candidate pairs"
+        )
     keyed = sorted(
         range(len(table)),
         key=lambda index: (

@@ -153,10 +153,22 @@ class RecordComparator:
 
     def similarity(self, left: Record, right: Record) -> float:
         """Weighted mean similarity over comparable fields."""
+        return self.similarity_from_vector(self.vector(left, right))
+
+    def similarity_from_vector(
+        self, vector: Sequence[float | None]
+    ) -> float:
+        """The weighted mean the already-computed ``vector`` pools to.
+
+        The resolver needs both the vector (for learned rules) and the
+        pooled similarity (for threshold rules) per candidate pair;
+        computing them independently ran every ``field.compare`` twice on
+        the quadratic hot path.  Same arithmetic, same accumulation
+        order as :meth:`similarity` — bit-identical results.
+        """
         total = 0.0
         weight_sum = 0.0
-        for field in self.fields:
-            score = field.compare(left, right)
+        for field, score in zip(self.fields, vector):
             if score is None:
                 continue
             total += field.weight * score

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence
 
 import networkx as nx
 
@@ -18,7 +18,15 @@ from repro.resolution.blocking import full_pairs, token_blocking
 from repro.resolution.comparison import RecordComparator, default_comparator
 from repro.resolution.rules import MatchDecision, ThresholdRule
 
-__all__ = ["EntityCluster", "ResolutionResult", "EntityResolver"]
+if TYPE_CHECKING:  # typing only: resolution must not import core at runtime
+    from repro.core.executor import Executor
+
+__all__ = [
+    "EntityCluster",
+    "EntityResolver",
+    "ResolutionResult",
+    "stable_cluster_id",
+]
 
 
 class _Rule(Protocol):
@@ -27,7 +35,7 @@ class _Rule(Protocol):
     ) -> MatchDecision: ...
 
 
-def _stable_cluster_id(records: Sequence[Record]) -> str:
+def stable_cluster_id(records: Sequence[Record]) -> str:
     """A content-derived entity id, stable across pipeline re-runs.
 
     Feedback refers to entities by id; positional ids ("entity-7") break
@@ -60,12 +68,28 @@ def _stable_cluster_id(records: Sequence[Record]) -> str:
     return f"entity-{digest.hexdigest()[:10]}"
 
 
+#: Backwards-compatible alias; the id scheme is public API now that
+#: partitioned execution must mint the very same ids as single-node ER.
+_stable_cluster_id = stable_cluster_id
+
+
 @dataclass
 class EntityCluster:
     """One resolved entity: the records claimed to be the same thing."""
 
     cluster_id: str
     records: list[Record]
+
+    @classmethod
+    def from_records(cls, records: Sequence[Record]) -> "EntityCluster":
+        """A cluster under the content-derived stable id for ``records``.
+
+        The one sanctioned way to mint a cluster id: every execution mode
+        (single-node, partitioned, process-parallel) that builds clusters
+        through this constructor assigns the same entity the same id, so
+        feedback keyed by entity id binds across modes.
+        """
+        return cls(stable_cluster_id(records), list(records))
 
     def __len__(self) -> int:
         return len(self.records)
@@ -144,34 +168,107 @@ class EntityResolver:
             )[:2]
         return token_blocking(table, attributes)
 
-    def resolve(self, table: Table) -> ResolutionResult:
-        """Partition ``table`` into entity clusters."""
+    def resolve(
+        self, table: Table, executor: "Executor | None" = None
+    ) -> ResolutionResult:
+        """Partition ``table`` into entity clusters.
+
+        With an ``executor``, the compare/decide loop is sharded into
+        contiguous chunks of the sorted candidate pairs and fanned out —
+        gated on the comparator's and rule's parallel certificates (the
+        comparison kernel must be ROW_LOCAL/PARTITION_LOCAL).  Chunks
+        merge in submission order, so the result is identical to the
+        sequential loop whatever the worker count.
+        """
         comparator = self.comparator or default_comparator(table.schema)
         pairs = self._candidate_pairs(table)
+        ordered_pairs = sorted(pairs)
+        matches = self._decide(table, comparator, ordered_pairs, executor)
+
         graph = nx.Graph()
         graph.add_nodes_from(range(len(table)))
         matched: dict[tuple[str, str], float] = {}
-        compared = 0
-        for left_index, right_index in sorted(pairs):
-            left = table.records[left_index]
-            right = table.records[right_index]
-            vector = comparator.vector(left, right)
-            similarity = comparator.similarity(left, right)
-            compared += 1
-            decision = self.rule.decide(similarity, vector)
-            if decision.is_match:
-                graph.add_edge(left_index, right_index)
-                key = tuple(sorted((left.rid, right.rid)))
-                matched[key] = decision.confidence  # type: ignore[index]
+        for left_index, right_index, key, confidence in matches:
+            graph.add_edge(left_index, right_index)
+            matched[key] = confidence
 
         clusters = []
         for component in nx.connected_components(graph):
             records = [table.records[index] for index in sorted(component)]
-            clusters.append(EntityCluster(_stable_cluster_id(records), records))
+            clusters.append(EntityCluster.from_records(records))
         clusters.sort(key=lambda c: c.cluster_id)
         return ResolutionResult(
             clusters,
             matched_pairs=matched,
-            compared=compared,
+            compared=len(ordered_pairs),
             candidate_pairs=len(pairs),
         )
+
+    def _decide(
+        self,
+        table: Table,
+        comparator: RecordComparator,
+        ordered_pairs: list[tuple[int, int]],
+        executor: "Executor | None",
+    ) -> list[tuple[int, int, tuple[str, str], float | None]]:
+        """Compare and decide every candidate pair, fanning out if safe."""
+        if executor is not None and len(ordered_pairs) > 1:
+            if executor.gate_process(
+                "resolve.compare", comparator.vector, self.rule.decide
+            ):
+                chunks = executor.chunk(ordered_pairs)
+                payloads = []
+                for chunk in chunks:
+                    needed = sorted({i for pair in chunk for i in pair})
+                    payloads.append((
+                        comparator,
+                        self.rule,
+                        {i: table.records[i] for i in needed},
+                        chunk,
+                    ))
+                if executor.ship_or_note("resolve.compare", payloads[0]):
+                    executor.note_fan_out("resolve.compare")
+                    shards = executor.map(_decide_chunk, payloads)
+                    return [m for shard in shards for m in shard]
+        records_by_index = dict(enumerate(table.records))
+        return _decide_pairs(
+            comparator, self.rule, records_by_index, ordered_pairs
+        )
+
+
+def _decide_pairs(
+    comparator: RecordComparator,
+    rule: _Rule,
+    records_by_index: dict[int, Record],
+    pairs: Sequence[tuple[int, int]],
+) -> list[tuple[int, int, tuple[str, str], float | None]]:
+    """The compare/decide kernel: one field vector per pair, not two.
+
+    The pooled similarity is derived from the vector the learned rules
+    need anyway (``similarity_from_vector``), so each ``field.compare``
+    runs exactly once per candidate pair — this loop is the quadratic
+    hot path of the whole pipeline.
+    """
+    from_vector = getattr(comparator, "similarity_from_vector", None)
+    matches: list[tuple[int, int, tuple[str, str], float | None]] = []
+    for left_index, right_index in pairs:
+        left = records_by_index[left_index]
+        right = records_by_index[right_index]
+        vector = comparator.vector(left, right)
+        if from_vector is not None:
+            similarity = from_vector(vector)
+        else:  # custom comparator predating similarity_from_vector
+            similarity = comparator.similarity(left, right)
+        decision = rule.decide(similarity, vector)
+        if decision.is_match:
+            key = tuple(sorted((left.rid, right.rid)))
+            matches.append(
+                (left_index, right_index, key, decision.confidence)
+            )
+    return matches
+
+
+def _decide_chunk(payload):
+    """Worker body for one shipped shard of candidate pairs."""
+    comparator, rule, records_by_index, pairs = payload
+    return _decide_pairs(comparator, rule, records_by_index, pairs)

@@ -22,13 +22,16 @@ A future partitioned scheduler fans out *only* under this contract.
 from __future__ import annotations
 
 import zlib
-from typing import Callable, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
 
 import networkx as nx
 
 from repro.errors import WranglingError
 from repro.model.records import Record, Table
 from repro.resolution.er import EntityCluster, EntityResolver, ResolutionResult
+
+if TYPE_CHECKING:  # typing only: scale must not import core at runtime
+    from repro.core.executor import Executor
 
 __all__ = ["hash_partition", "map_reduce", "partitioned_resolve", "stable_digest"]
 
@@ -123,35 +126,54 @@ def map_reduce(
     return reduce_fn(partials)
 
 
+def _resolve_partition(payload: tuple[EntityResolver, Table]) -> ResolutionResult:
+    """Worker body for one shipped partition."""
+    resolver, partition = payload
+    return resolver.resolve(partition)
+
+
 def partitioned_resolve(
     table: Table,
     resolver: EntityResolver,
     n_partitions: int,
     blocking_key: Callable[[Record], object],
     strict: bool = False,
+    executor: "Executor | None" = None,
 ) -> ResolutionResult:
     """Entity resolution as partition-local ER plus a union of results.
 
     Records are partitioned by ``blocking_key`` (e.g. the first title
     token), so duplicates co-locate; each partition is resolved
-    independently and the clusters are concatenated.  Pairs split across
+    independently and the clusters are merged.  Pairs split across
     partitions are missed — that recall loss versus single-node ER is
     precisely what experiment E7 measures.
 
+    Merged clusters carry the same content-derived
+    :func:`~repro.resolution.er.stable_cluster_id` single-node ER mints
+    (they used to get positional ``entity-{number}`` ids, which silently
+    mis-bound feedback the moment execution mode changed), and the merged
+    cluster list is sorted by id exactly as ``EntityResolver.resolve``
+    sorts its own output.
+
     With ``strict=True`` the blocking key and the resolver's ``resolve``
     method must certify fan-out safe (ROW_LOCAL or PARTITION_LOCAL)
-    before any partition is resolved.
+    before any partition is resolved.  With an ``executor``, non-empty
+    partitions are shipped to workers under the same certificate gate
+    (refusals fall back to the sequential loop, with a telemetry note);
+    partitioning and the merge stay on the coordinator, so the blocking
+    key itself never crosses the process boundary.
     """
     if strict:
         _ensure_strict(resolver.resolve, None, blocking_key)
     partitions = hash_partition(table, n_partitions, blocking_key)
+    populated = [partition for partition in partitions if len(partition)]
+    results = _resolve_partitions(populated, resolver, executor)
     graph = nx.Graph()
     matched: dict[tuple[str, str], float] = {}
     compared = 0
     candidate_pairs = 0
     rid_to_record: dict[str, Record] = {}
-    for partition in partitions:
-        result = resolver.resolve(partition)
+    for result in results:
         compared += result.compared
         candidate_pairs += result.candidate_pairs
         matched.update(result.matched_pairs)
@@ -163,12 +185,28 @@ def partitioned_resolve(
             for left, right in zip(rids, rids[1:]):
                 graph.add_edge(left, right)
     clusters = []
-    for number, component in enumerate(nx.connected_components(graph)):
+    for component in nx.connected_components(graph):
         records = [rid_to_record[rid] for rid in sorted(component)]
-        clusters.append(EntityCluster(f"entity-{number}", records))
+        clusters.append(EntityCluster.from_records(records))
+    clusters.sort(key=lambda c: c.cluster_id)
     return ResolutionResult(
         clusters,
         matched_pairs=matched,
         compared=compared,
         candidate_pairs=candidate_pairs,
     )
+
+
+def _resolve_partitions(
+    populated: list[Table],
+    resolver: EntityResolver,
+    executor: "Executor | None",
+) -> list[ResolutionResult]:
+    """Resolve each partition, shipping to workers when certified safe."""
+    if executor is not None and len(populated) > 1:
+        if executor.gate_process("partitioned_resolve", resolver.resolve):
+            payloads = [(resolver, partition) for partition in populated]
+            if executor.ship_or_note("partitioned_resolve", payloads[0]):
+                executor.note_fan_out("partitioned_resolve")
+                return executor.map(_resolve_partition, payloads)
+    return [resolver.resolve(partition) for partition in populated]

@@ -1,0 +1,249 @@
+"""Unit tests for the pluggable execution backends (PX-gated fan-out)."""
+
+import threading
+
+import pytest
+
+from repro.analysis.parallel import ParallelAnalyser
+from repro.core.dataflow import Dataflow
+from repro.core.executor import (
+    FAN_OUT_LEVELS,
+    Executor,
+    ParallelExecutor,
+    SequentialExecutor,
+)
+from repro.errors import WranglingError
+from repro.obs import Telemetry
+
+
+# -- module-level compute kernels: picklable, certifiably local ------------
+
+def double(payload):
+    return payload * 2
+
+
+def add_inputs(inputs):
+    return inputs["a"] + inputs["b"]
+
+
+def square_sum(inputs):
+    return inputs["sum"] ** 2
+
+
+_shared_state: list[int] = []
+
+
+def mutate_shared(payload):
+    _shared_state.append(payload)
+    return payload
+
+
+def read_shared(payload):
+    return payload + len(_shared_state)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(WranglingError):
+            Executor(0)
+        with pytest.raises(WranglingError):
+            ParallelExecutor(-1)
+
+    def test_context_manager_shuts_down(self):
+        with ParallelExecutor(2) as executor:
+            assert executor.map(double, [1, 2, 3]) == [2, 4, 6]
+        assert executor._pool is None
+
+
+class TestGates:
+    def test_process_gate_accepts_local_kernels(self):
+        executor = SequentialExecutor()
+        assert executor.gate_process("site", double)
+        assert executor.fallbacks == []
+
+    def test_process_gate_refuses_global_mutation(self):
+        executor = SequentialExecutor()
+        assert not executor.gate_process("site", mutate_shared)
+        assert len(executor.fallbacks) == 1
+        site, reason = executor.fallbacks[0]
+        assert site == "site"
+        assert "mutate_shared" in reason
+
+    def test_process_gate_refuses_closures(self):
+        captured = []
+
+        def leaky(payload):
+            captured.append(payload)
+            return payload
+
+        executor = SequentialExecutor()
+        assert not executor.gate_process("site", leaky)
+
+    def test_thread_gate_accepts_global_refuses_unsafe(self):
+        # GLOBAL is fine on a coordinator thread: shared state is where
+        # it always was.  Only a certified race (UNSAFE) is refused.
+        analyser = ParallelAnalyser()
+        assert analyser.certify(read_shared, role="map").level.value == (
+            "global"
+        )
+        assert analyser.certify(mutate_shared, role="map").level.value == (
+            "unsafe"
+        )
+        executor = SequentialExecutor()
+        assert executor.gate_thread("site", read_shared)
+        assert executor.fallbacks == []
+        assert not executor.gate_thread("race", mutate_shared)
+        assert executor.fallbacks == [
+            ("race", "mutate_shared certified unsafe")
+        ]
+
+    def test_fan_out_levels_match_certifier(self):
+        analyser = ParallelAnalyser()
+        level = analyser.certify(double, role="map").level
+        assert level.value in FAN_OUT_LEVELS
+
+
+class TestShipping:
+    def test_can_ship_plain_data(self):
+        executor = SequentialExecutor()
+        assert executor.can_ship((double, [1, 2, 3], {"k": "v"}))
+
+    def test_cannot_ship_locks_or_closures(self):
+        executor = SequentialExecutor()
+        assert not executor.can_ship(threading.Lock())
+        assert not executor.can_ship(lambda: 1)
+
+    def test_ship_or_note_records_reason(self):
+        executor = SequentialExecutor()
+        assert not executor.ship_or_note("site", threading.Lock())
+        assert executor.fallback_notes() == ["site: payload not picklable"]
+
+
+class TestChunking:
+    def test_contiguous_and_order_preserving(self):
+        executor = ParallelExecutor(3)
+        items = list(range(17))
+        chunks = executor.chunk(items)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert 1 <= len(chunks) <= 12
+
+    def test_never_more_chunks_than_items(self):
+        executor = ParallelExecutor(8)
+        assert len(executor.chunk([1, 2])) == 2
+        assert executor.chunk([]) == []
+
+    def test_near_equal_sizes(self):
+        executor = ParallelExecutor(2)
+        sizes = [len(chunk) for chunk in executor.chunk(list(range(10)))]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestExecution:
+    def test_sequential_map_order(self):
+        executor = SequentialExecutor()
+        assert executor.map(double, [3, 1, 2]) == [6, 2, 4]
+
+    def test_parallel_map_order(self):
+        with ParallelExecutor(4) as executor:
+            assert executor.map(double, list(range(20))) == [
+                2 * n for n in range(20)
+            ]
+
+    def test_parallel_single_payload_runs_inline(self):
+        executor = ParallelExecutor(4)
+        assert executor.map(double, [21]) == [42]
+        assert executor._pool is None  # no pool for a batch of one
+
+    def test_map_local_order(self):
+        for executor in (SequentialExecutor(), ParallelExecutor(3)):
+            with executor:
+                thunks = [lambda n=n: n * 10 for n in range(7)]
+                assert executor.map_local(thunks) == [
+                    n * 10 for n in range(7)
+                ]
+
+
+class TestAccounting:
+    def test_sites_and_notes_deduplicate_and_sort(self):
+        executor = SequentialExecutor()
+        executor.note_fan_out("b")
+        executor.note_fan_out("a")
+        executor.note_fan_out("b")
+        executor.note_fallback("z", "why")
+        executor.note_fallback("z", "why")
+        assert executor.fan_out_sites() == ["a", "b"]
+        assert executor.fallback_notes() == ["z: why"]
+
+    def test_publish_emits_counters(self):
+        telemetry = Telemetry.manual()
+        executor = SequentialExecutor()
+        executor.note_fan_out("a")
+        executor.note_fan_out("b")
+        executor.note_fallback("c", "nope")
+        executor.publish(telemetry)
+        metrics = telemetry.snapshot()["metrics"]
+        assert metrics["counters"]["executor.fan_outs"] == 2
+        assert metrics["counters"]["executor.fallbacks"] == 1
+
+    def test_publish_is_silent_when_nothing_happened(self):
+        telemetry = Telemetry.manual()
+        SequentialExecutor().publish(telemetry)
+        assert "executor.fan_outs" not in (
+            telemetry.snapshot()["metrics"]["counters"]
+        )
+
+
+def build_flow():
+    flow = Dataflow()
+    flow.add_input("a", 3)
+    flow.add_input("b", 4)
+    flow.add("sum", add_inputs, ("a", "b"), stage="test")
+    flow.add("square", square_sum, ("sum",), stage="test")
+    return flow
+
+
+class TestDataflowFanOut:
+    def test_parallel_pull_matches_sequential(self):
+        sequential = build_flow()
+        assert sequential.pull("square") == 49
+
+        parallel = build_flow()
+        parallel.certify_parallel()
+        with ParallelExecutor(2) as executor:
+            assert parallel.pull("square", executor=executor) == 49
+            assert executor.fan_out_sites() == [
+                "dataflow:sum",
+                "dataflow:square",
+            ] or executor.fan_out_sites() == [
+                "dataflow:square",
+                "dataflow:sum",
+            ]
+        assert parallel.runs("sum") == sequential.runs("sum") == 1
+
+    def test_uncertified_nodes_fall_back_inline(self):
+        flow = build_flow()  # no certify_parallel: parallel is None
+        executor = SequentialExecutor()
+        assert flow.pull("square", executor=executor) == 49
+        assert executor.fan_out_sites() == []
+        assert any(
+            "uncertified" in note for note in executor.fallback_notes()
+        )
+
+    def test_global_nodes_fall_back_inline(self):
+        flow = Dataflow()
+        flow.add_input("n", 5)
+        flow.add("tracked", lambda inputs: mutate_shared(inputs["n"]), ("n",))
+        flow.certify_parallel()
+        executor = SequentialExecutor()
+        assert flow.pull("tracked", executor=executor) == 5
+        assert executor.fan_out_sites() == []
+        assert len(executor.fallback_notes()) == 1
+
+    def test_clean_nodes_are_not_reswept(self):
+        flow = build_flow()
+        flow.certify_parallel()
+        executor = SequentialExecutor()
+        flow.pull_all(executor=executor)
+        runs = flow.total_runs()
+        flow.pull_all(executor=executor)
+        assert flow.total_runs() == runs

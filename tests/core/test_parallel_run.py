@@ -1,0 +1,247 @@
+"""Parallel runs equal sequential runs: the executor determinism suite.
+
+``Wrangler.run(parallel=N)`` must produce the same wrangled data as the
+sequential path — clusters, stable entity ids, fused records, quality
+scores, counters — with only timing fields free to differ.  Across
+``parallel=1/2/4`` even the scrubbed telemetry must be byte-identical:
+fan-out accounting records *decisions* (sites), never chunk counts, so
+worker count leaves no trace.  A chaos run under concurrent acquisition
+must account every injected attempt exactly once.
+"""
+
+import datetime
+import json
+
+import pytest
+
+from repro.context.data_context import DataContext
+from repro.context.user_context import UserContext
+from repro.core.wrangler import Wrangler
+from repro.datagen.ontologies import product_ontology
+from repro.datagen.products import TARGET_SCHEMA, generate_world
+from repro.errors import WranglingError
+from repro.obs import Telemetry, scrub_timings
+from repro.resilience import ChaosSource, FaultPlan, RetryPolicy
+from repro.sources.memory import MemorySource
+
+TODAY = datetime.date(2016, 3, 15)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(n_products=30, n_sources=4, seed=77)
+
+
+def make_wrangler(world):
+    user = UserContext.precision_first("analyst", TARGET_SCHEMA, budget=50.0)
+    data = DataContext("products").with_ontology(product_ontology())
+    data.add_master("catalog", world.ground_truth)
+    wrangler = Wrangler(
+        user,
+        data,
+        master_key="catalog",
+        join_attribute="product",
+        today=TODAY,
+        telemetry=Telemetry.manual(),
+    )
+    for name, rows in world.source_rows.items():
+        wrangler.add_source(
+            MemorySource(name, rows, cost_per_access=world.specs[name].cost)
+        )
+    return wrangler
+
+
+def record_key(record):
+    """Content identity: rids are minted from a process-global counter,
+    so cross-run comparisons must key on what the record says."""
+    return (record.source, tuple(sorted(
+        (name, str(record.raw(name))) for name in record.cells
+    )))
+
+
+def cluster_view(result):
+    """Cluster identity and membership, in reported order."""
+    return [
+        (cluster.cluster_id, tuple(record_key(r) for r in cluster.records))
+        for cluster in result.resolution.clusters
+    ]
+
+
+def table_view(result):
+    """Every fused cell, in record order."""
+    return [
+        (record.rid, {a.name: record.raw(a.name) for a in TARGET_SCHEMA})
+        for record in result.table.records
+    ]
+
+
+def counters_view(result, drop_executor=False):
+    counters = dict(result.telemetry["metrics"]["counters"])
+    if drop_executor:
+        counters = {
+            k: v for k, v in counters.items() if not k.startswith("executor.")
+        }
+    return counters
+
+
+class TestParallelEqualsSequential:
+    def test_results_equal_modulo_timing(self, world):
+        sequential = make_wrangler(world).run()
+        parallel = make_wrangler(world).run(parallel=4)
+        assert cluster_view(parallel) == cluster_view(sequential)
+        assert table_view(parallel) == table_view(sequential)
+        assert parallel.quality.scores == sequential.quality.scores
+        assert parallel.access_cost == sequential.access_cost
+        # The parallel run adds only its own executor.* accounting.
+        assert counters_view(parallel, drop_executor=True) == (
+            counters_view(sequential)
+        )
+
+    def test_stable_entity_ids_across_modes(self, world):
+        sequential = make_wrangler(world).run()
+        parallel = make_wrangler(world).run(parallel=2)
+        # Stable ids are content-derived, so they agree string-for-string.
+        seq_ids = [c.cluster_id for c in sequential.resolution.clusters]
+        par_ids = [c.cluster_id for c in parallel.resolution.clusters]
+        assert seq_ids == par_ids
+        assert all(id_.startswith("entity-") for id_ in seq_ids)
+
+    def test_fan_out_is_gated_and_reported(self, world):
+        wrangler = make_wrangler(world)
+        result = wrangler.run(parallel=4)
+
+        def find(name, spans):
+            for span in spans:
+                if span["name"] == name:
+                    return span
+                found = find(name, span.get("children", []))
+                if found:
+                    return found
+            return None
+
+        run_span = find("wrangle.run", result.telemetry["spans"])
+        sites = run_span["attributes"]["executor_fan_out_sites"]
+        assert "resolve.compare" in sites
+        assert "fuse" in sites
+        assert "acquire" in sites
+        # GLOBAL dataflow nodes (lambdas over the wrangler) honestly
+        # fell back — the refusal is visible, not silent.
+        fallbacks = run_span["attributes"]["executor_fallback_sites"]
+        assert any(note.startswith("dataflow:") for note in fallbacks)
+        counters = result.telemetry["metrics"]["counters"]
+        assert counters["executor.fan_outs"] >= 3
+        assert counters["executor.fallbacks"] >= 1
+
+    def test_invalid_worker_count_rejected(self, world):
+        with pytest.raises(WranglingError):
+            make_wrangler(world).run(parallel=0)
+
+
+class TestWorkerCountDeterminism:
+    def scrubbed(self, world, parallel):
+        result = make_wrangler(world).run(parallel=parallel)
+        return (
+            json.dumps(
+                scrub_timings(result.telemetry), sort_keys=True, default=str
+            ),
+            cluster_view(result),
+            table_view(result),
+        )
+
+    def test_byte_identical_across_1_2_4(self, world):
+        one = self.scrubbed(world, 1)
+        two = self.scrubbed(world, 2)
+        four = self.scrubbed(world, 4)
+        assert one[0] == two[0] == four[0]
+        assert one[1] == two[1] == four[1]
+        assert one[2] == two[2] == four[2]
+
+    def test_scrub_leaves_counts_and_shapes(self, world):
+        result = make_wrangler(world).run(parallel=2)
+        scrubbed = scrub_timings(result.telemetry)
+        histograms = scrubbed["metrics"]["histograms"]
+        timed = [n for n in histograms if "seconds" in n]
+        assert timed, "expected at least one timing histogram"
+        for name in timed:
+            assert histograms[name]["total"] == 0.0
+            assert histograms[name]["count"] == (
+                result.telemetry["metrics"]["histograms"][name]["count"]
+            )
+
+
+class TestChaosUnderConcurrentAcquisition:
+    def make_chaos(self, world, parallel):
+        names = sorted(world.source_rows)
+        user = UserContext.precision_first(
+            "analyst", TARGET_SCHEMA, budget=50.0
+        )
+        data = DataContext("products").with_ontology(product_ontology())
+        data.add_master("catalog", world.ground_truth)
+        telemetry = Telemetry.manual()
+        wrangler = Wrangler(
+            user,
+            data,
+            master_key="catalog",
+            join_attribute="product",
+            today=TODAY,
+            telemetry=telemetry,
+        )
+        plans = {
+            names[0]: FaultPlan(),
+            names[1]: FaultPlan(fail_first=2),
+            names[2]: FaultPlan(dead=True),
+            names[3]: FaultPlan(latency=0.5),
+        }
+        chaos = {}
+        for name in names:
+            inner = MemorySource(
+                name,
+                world.source_rows[name],
+                cost_per_access=world.specs[name].cost,
+            )
+            chaos[name] = ChaosSource(
+                inner, plans[name], clock=telemetry.clock
+            )
+            wrangler.add_source(chaos[name])
+        wrangler.resilience(RetryPolicy(max_attempts=3), quorum=0.0)
+        result = wrangler.run(parallel=parallel)
+        return result, chaos
+
+    def test_every_injected_attempt_accounted_once(self, world):
+        result, chaos = self.make_chaos(world, parallel=4)
+        assert result.degradation is not None
+        for name, source in chaos.items():
+            physical = [
+                a
+                for a in result.degradation[name]["attempts"]
+                if a["outcome"] != "short-circuit"
+            ]
+            assert len(physical) == source.loads, (
+                f"{name}: ledger saw {len(physical)} physical attempts, "
+                f"source served {source.loads} loads"
+            )
+
+    def test_ledger_equal_across_modes(self, world):
+        par, _ = self.make_chaos(world, parallel=4)
+        seq, _ = self.make_chaos(world, parallel=None)
+        assert json.dumps(par.degradation, sort_keys=True) == (
+            json.dumps(seq.degradation, sort_keys=True)
+        )
+        assert par.degraded_sources() == seq.degraded_sources()
+        assert cluster_view(par) == cluster_view(seq)
+
+    def test_chaos_determinism_across_worker_counts(self, world):
+        results = [
+            self.make_chaos(world, parallel=n)[0] for n in (1, 2, 4)
+        ]
+        dumps = [
+            json.dumps(
+                scrub_timings(r.telemetry), sort_keys=True, default=str
+            )
+            for r in results
+        ]
+        assert dumps[0] == dumps[1] == dumps[2]
+        ledgers = [
+            json.dumps(r.degradation, sort_keys=True) for r in results
+        ]
+        assert ledgers[0] == ledgers[1] == ledgers[2]

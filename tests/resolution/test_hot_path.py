@@ -1,0 +1,163 @@
+"""Regression tests for the ER hot path and blocking edge cases.
+
+The resolver used to compute every per-field comparison twice per
+candidate pair — once for the similarity, once for the rule's vector.
+These tests pin the fix: ``field.compare`` runs exactly once per
+(pair, field), decisions are unchanged, and the vector route is
+bit-identical to the direct similarity.
+"""
+
+import pytest
+
+from repro.errors import ResolutionError
+from repro.model.records import Table
+from repro.resolution.blocking import full_pairs, sorted_neighbourhood
+from repro.resolution.comparison import FieldComparator, RecordComparator
+from repro.resolution.er import EntityResolver, stable_cluster_id
+from repro.resolution.rules import ThresholdRule
+
+ROWS = [
+    {"name": "Acme Laptop Pro 15", "price": 999.0},
+    {"name": "Acme Laptop Pro 15", "price": 989.0},
+    {"name": "Acme Lptop Pro 15", "price": 999.0},
+    {"name": "Globex Camera Z", "price": 450.0},
+    {"name": "Globex Camera Z", "price": 455.0},
+    {"name": "Initech Monitor Q", "price": 120.0},
+]
+
+
+@pytest.fixture
+def table():
+    return Table.from_rows("offers", ROWS)
+
+
+class CountingField(FieldComparator):
+    """A field comparator that counts its ``compare`` invocations."""
+
+    calls = 0
+
+    def compare(self, left, right):
+        CountingField.calls += 1
+        return super().compare(left, right)
+
+
+class TestSingleComparePerPairField:
+    def test_field_compare_runs_once_per_pair_and_field(self, table):
+        CountingField.calls = 0
+        comparator = RecordComparator((
+            CountingField("name", measure="jaro"),
+            CountingField("name", measure="jaccard"),
+        ))
+        resolver = EntityResolver(
+            comparator=comparator, rule=ThresholdRule(0.8)
+        )
+        result = resolver.resolve(table)
+        n_pairs = len(full_pairs(table))
+        assert result.compared == n_pairs
+        # The old hot path called compare twice per (pair, field): once
+        # inside similarity(), once inside vector().  Now: exactly once.
+        assert CountingField.calls == n_pairs * 2  # 2 fields, 1 call each
+
+    def test_decisions_unchanged_by_the_single_pass(self, table):
+        comparator = RecordComparator((
+            FieldComparator("name", measure="jaro"),
+        ))
+        resolver = EntityResolver(
+            comparator=comparator, rule=ThresholdRule(0.8)
+        )
+        result = resolver.resolve(table)
+        # The misspelled and reprised Acme offers merge; Globex pair
+        # merges; the monitor stays single.
+        sizes = sorted(len(c) for c in result.clusters)
+        assert sizes == [1, 2, 3]
+
+    def test_similarity_from_vector_is_bit_identical(self, table):
+        comparator = RecordComparator((
+            FieldComparator("name", measure="jaro", weight=2.0),
+            FieldComparator("name", measure="jaccard", weight=0.5),
+            FieldComparator("price", measure="numeric", weight=1.0),
+        ))
+        for i, j in sorted(full_pairs(table)):
+            left, right = table.records[i], table.records[j]
+            vector = comparator.vector(left, right)
+            assert comparator.similarity_from_vector(vector) == (
+                comparator.similarity(left, right)
+            )
+
+    def test_all_missing_vector_scores_zero(self):
+        comparator = RecordComparator((FieldComparator("name"),))
+        assert comparator.similarity_from_vector([None]) == 0.0
+
+    def test_custom_comparator_without_vector_method_still_works(self, table):
+        class LegacyComparator:
+            """A duck-typed comparator predating similarity_from_vector."""
+
+            fields = (FieldComparator("name"),)
+
+            def vector(self, left, right):
+                return [f.compare(left, right) for f in self.fields]
+
+            def similarity(self, left, right):
+                scores = [s for s in self.vector(left, right) if s is not None]
+                return sum(scores) / len(scores) if scores else 0.0
+
+        resolver = EntityResolver(
+            comparator=LegacyComparator(), rule=ThresholdRule(0.8)
+        )
+        result = resolver.resolve(table)
+        assert len(result.clusters) >= 1
+
+
+class TestStableClusterIds:
+    def test_id_is_content_derived(self, table):
+        cluster_id = stable_cluster_id(table.records[:2])
+        assert cluster_id.startswith("entity-")
+        assert cluster_id == stable_cluster_id(table.records[:2])
+        assert cluster_id == stable_cluster_id(
+            list(reversed(table.records[:2]))
+        )
+        assert cluster_id != stable_cluster_id(table.records[3:5])
+
+
+class TestSortedNeighbourhoodEdges:
+    def test_window_spanning_table_degenerates_to_full_pairs(self, table):
+        assert sorted_neighbourhood(
+            table, "name", window=len(table)
+        ) == full_pairs(table)
+        assert sorted_neighbourhood(
+            table, "name", window=len(table) + 5
+        ) == full_pairs(table)
+
+    def test_every_record_pairs_with_rank_neighbours(self, table):
+        # Symmetry check: the trailing record in sort order still meets
+        # its window - 1 predecessors (it met them as their right-hand
+        # partner), so no truncated-window pair is dropped.
+        window = 3
+        pairs = sorted_neighbourhood(table, "name", window=window)
+        counts = {i: 0 for i in range(len(table))}
+        for left, right in pairs:
+            counts[left] += 1
+            counts[right] += 1
+        for index, count in counts.items():
+            assert count >= window - 1, (
+                f"record {index} met only {count} neighbours"
+            )
+
+    def test_all_missing_key_records_still_windowed(self):
+        rows = [{"other": i} for i in range(5)]
+        table = Table.from_rows("t", rows)
+        pairs = sorted_neighbourhood(table, "name", window=3)
+        # Missing keys sort to the end in stable input order; they still
+        # meet window neighbours rather than being exempt from ER.
+        assert pairs == sorted_neighbourhood(table, "name", window=3)
+        counts = {i: 0 for i in range(len(table))}
+        for left, right in pairs:
+            counts[left] += 1
+            counts[right] += 1
+        assert all(count >= 2 for count in counts.values())
+
+    def test_window_below_two_rejected(self, table):
+        with pytest.raises(ResolutionError):
+            sorted_neighbourhood(table, "name", window=1)
+        with pytest.raises(ResolutionError):
+            sorted_neighbourhood(table, "name", window=0)

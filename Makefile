@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-json typecheck parallel-check bench-smoke bench-parallel chaos check
+.PHONY: test lint lint-json typecheck parallel-check cost-check bench-gate bench-smoke bench-parallel chaos check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +26,33 @@ parallel-check:
 	$(PYTHON) -m repro.analysis.parallel examples
 	$(PYTHON) -m pytest tests/analysis/test_parallel_snapshot.py -q -p no:cacheprovider
 
+# Cost & cardinality certification of every shipped example plan (exits
+# 1 on any error-severity CC finding — an over-budget or quadratic
+# plan), then the snapshot test pinning the expected plan→cost map and
+# its byte-for-byte determinism.
+cost-check:
+	$(PYTHON) -m repro.analysis.cost examples
+	$(PYTHON) -m pytest tests/analysis/test_cost_snapshot.py -q -p no:cacheprovider
+
+# The perf ratchet: copy the committed BENCH_* baselines aside (so the
+# fresh run cannot overwrite what it is compared against), re-run the
+# ratcheted benchmark, and fail on any lower-is-better metric
+# regressing past the tolerance.  The live gate runs at 50% rather
+# than the CLI's 15% default: wall-clock minima on a shared runner
+# still swing ~30% run-to-run even best-of-3, while a real algorithmic
+# regression (losing blocking, an accidental n² stage) is a multi-x
+# blow-up that 50% still catches.  The strict 15% contract is pinned
+# machine-independently by tests/analysis/test_cost_ratchet.py over
+# the committed fixture pair.  REP015 keeps every benchmark on the
+# shared telemetry helpers the ratchet and calibration feed from.
+bench-gate:
+	rm -rf benchmarks/.ratchet
+	mkdir -p benchmarks/.ratchet
+	cp benchmarks/results/BENCH_*.json benchmarks/.ratchet/
+	$(PYTHON) -m pytest benchmarks/bench_parallel.py -q -p no:cacheprovider
+	$(PYTHON) -m repro.analysis.cost --ratchet --baseline benchmarks/.ratchet --fresh benchmarks/results --tolerance 0.5
+	$(PYTHON) -m repro.analysis.lint benchmarks --select REP015
+
 # One small benchmark end to end, then schema-check the telemetry it
 # emitted: catches drift between the benchmarks and the repro.obs schema.
 bench-smoke:
@@ -39,7 +66,7 @@ bench-smoke:
 # backends — hold on any machine).
 bench-parallel:
 	$(PYTHON) -m pytest benchmarks/bench_parallel.py -q -p no:cacheprovider
-	$(PYTHON) -m repro.obs.report benchmarks/results/BENCH-parallel-er.telemetry.json --validate-only
+	$(PYTHON) -m repro.obs.report benchmarks/results/BENCH_parallel_er.telemetry.json --validate-only
 
 # The chaos harness end to end: the resilience benchmark (seeded fault
 # injection through a full Wrangler.run), its telemetry schema-checked,
@@ -50,4 +77,4 @@ chaos:
 	$(PYTHON) -m repro.obs.report benchmarks/results/E11-resilience.telemetry.json --validate-only
 	$(PYTHON) -m repro.analysis.lint src/repro tests benchmarks --select REP013
 
-check: test lint typecheck parallel-check bench-smoke bench-parallel chaos
+check: test lint typecheck parallel-check cost-check bench-smoke bench-parallel bench-gate chaos

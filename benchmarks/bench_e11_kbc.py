@@ -21,7 +21,7 @@ import random
 from repro.fusion.strategies import Candidate, resolve
 from repro.model.values import Value
 
-from helpers import emit, format_table
+from helpers import bench_telemetry, emit, emit_telemetry, format_table, timed
 
 TODAY = datetime.date(2016, 3, 15)
 
@@ -64,12 +64,20 @@ def fuse_population(per_entity, attribute: str, strategy: str) -> float:
 
 
 def test_e11_kbc_transience(benchmark):
+    telemetry = bench_telemetry()
     per_entity = observations(150, seed=1111)
     rows = []
     results = {}
     for attribute in ("brand", "price"):
         for strategy in ("majority", "recent"):
-            accuracy = fuse_population(per_entity, attribute, strategy)
+            accuracy, __ = timed(
+                telemetry,
+                f"fuse.{strategy}",
+                lambda a=attribute, s=strategy: fuse_population(
+                    per_entity, a, s
+                ),
+                attribute=attribute,
+            )
             results[(attribute, strategy)] = accuracy
             rows.append([attribute, strategy, f"{accuracy:.3f}"])
     benchmark.pedantic(
@@ -80,6 +88,7 @@ def test_e11_kbc_transience(benchmark):
         "E11-kbc",
         format_table(["attribute", "fusion", "accuracy"], rows),
     )
+    emit_telemetry("E11-kbc", telemetry.snapshot())
     # Slow-changing facts: redundancy works, both strategies are fine.
     assert results[("brand", "majority")] > 0.95
     assert results[("brand", "recent")] > 0.95

@@ -21,7 +21,15 @@ from repro.resolution.comparison import profiled_comparator
 from repro.resolution.er import EntityResolver
 from repro.resolution.rules import ThresholdRule
 
-from helpers import build_wrangler, emit, format_table, standard_world
+from helpers import (
+    bench_telemetry,
+    build_wrangler,
+    emit,
+    emit_telemetry,
+    format_table,
+    standard_world,
+    timed,
+)
 
 WORLD = standard_world(n_products=50, n_sources=6, seed=1212)
 USER = UserContext.precision_first("tuner", TARGET_SCHEMA, budget=60.0)
@@ -62,11 +70,18 @@ def test_e12_autonomic_vs_grid(benchmark):
     )
     autonomic_utility = utility(wrangle_scorecard(autonomic.table, WORLD))
 
+    telemetry = bench_telemetry()
     grid_utilities = []
     rows = []
     for er_threshold in (0.7, 0.8, 0.9, 0.95):
         for strategy in ("majority", "weighted", "median", "recent"):
-            output = hand_tuned(er_threshold, strategy)
+            output, __ = timed(
+                telemetry,
+                "grid.hand_tuned",
+                lambda t=er_threshold, s=strategy: hand_tuned(t, s),
+                er_threshold=er_threshold,
+                strategy=strategy,
+            )
             value = utility(wrangle_scorecard(output, WORLD))
             grid_utilities.append(value)
             rows.append([f"{er_threshold:.2f}", strategy, f"{value:.3f}"])
@@ -79,6 +94,7 @@ def test_e12_autonomic_vs_grid(benchmark):
         format_table(["ER threshold", "fusion", "context utility"], rows),
     )
 
+    emit_telemetry("E12-autonomic", telemetry.snapshot())
     grid_utilities.sort(reverse=True)
     top_quartile = grid_utilities[len(grid_utilities) // 4]
     # The planner's untuned configuration competes with the tuned grid.

@@ -18,7 +18,14 @@ from repro.datagen.products import TARGET_SCHEMA
 from repro.evaluation import pair_metrics, truth_labels, wrangle_scorecard
 from repro.sources.memory import MemorySource
 
-from helpers import emit, format_table, standard_world
+from helpers import (
+    bench_telemetry,
+    emit,
+    emit_telemetry,
+    format_table,
+    standard_world,
+    timed,
+)
 
 TODAY = datetime.date(2016, 3, 15)
 WORLD = standard_world(n_products=50, n_sources=8, seed=1313)
@@ -58,11 +65,16 @@ def test_e13_design_ablation(benchmark):
     full_score, full_er = benchmark.pedantic(
         lambda: measure(full_wrangler), rounds=1, iterations=1
     )
-    no_probe_score, no_probe_er = measure(
-        build(with_master=False, with_ontology=True)
+    telemetry = bench_telemetry()
+    (no_probe_score, no_probe_er), __ = timed(
+        telemetry,
+        "ablate.no_probe",
+        lambda: measure(build(with_master=False, with_ontology=True)),
     )
-    no_onto_score, no_onto_er = measure(
-        build(with_master=True, with_ontology=False)
+    (no_onto_score, no_onto_er), __ = timed(
+        telemetry,
+        "ablate.no_ontology",
+        lambda: measure(build(with_master=True, with_ontology=False)),
     )
 
     rows = [
@@ -87,6 +99,7 @@ def test_e13_design_ablation(benchmark):
         ),
     )
 
+    emit_telemetry("E13-ablation", telemetry.snapshot())
     # Each removed capability costs something on at least one metric.
     # Probes buy fused price accuracy (they identify the noisy sources).
     assert (

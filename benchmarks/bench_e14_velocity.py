@@ -18,7 +18,7 @@ from repro.selection.refresh import expected_staleness, plan_refresh
 from repro.sources.memory import MemorySource
 from repro.sources.registry import SourceRegistry
 
-from helpers import emit, format_table
+from helpers import bench_telemetry, emit, emit_telemetry, format_table, timed
 
 
 def build_fleet(seed: int):
@@ -71,12 +71,18 @@ def test_e14_refresh_scheduling(benchmark):
     days = 7.0
     rows = []
     outcomes = {}
+    telemetry = bench_telemetry()
     for budget in (1.0, 2.0, 4.0):
         registry, change_rates, costs = build_fleet(seed=14)
         ages = {name: days for name in registry.names()}
-        scheduled = {
-            c.name for c in plan_refresh(registry, ages, budget=budget)
-        }
+        scheduled, __ = timed(
+            telemetry,
+            "refresh.plan",
+            lambda r=registry, a=ages, b=budget: {
+                c.name for c in plan_refresh(r, a, budget=b)
+            },
+            budget=budget,
+        )
         none_fresh = freshness_after(registry, change_rates, set(), days)
         # naive is order-dependent: average over arbitrary orders
         naive_fresh = sum(
@@ -107,6 +113,7 @@ def test_e14_refresh_scheduling(benchmark):
             rows,
         ),
     )
+    emit_telemetry("E14-velocity", telemetry.snapshot())
     for budget, (none_fresh, naive_fresh, sched_fresh) in outcomes.items():
         assert sched_fresh >= naive_fresh - 1e-9
         assert sched_fresh > none_fresh

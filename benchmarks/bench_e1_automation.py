@@ -17,7 +17,15 @@ from repro.datagen.products import TARGET_SCHEMA
 from repro.evaluation import wrangle_scorecard
 from repro.sources.memory import MemorySource
 
-from helpers import build_wrangler, emit, format_table, standard_world
+from helpers import (
+    bench_telemetry,
+    build_wrangler,
+    emit,
+    emit_telemetry,
+    format_table,
+    standard_world,
+    timed,
+)
 
 WORLD = standard_world(n_products=50, n_sources=8, seed=101)
 
@@ -39,10 +47,15 @@ def run_wrangler(user=None):
 def test_e1_manual_effort_and_quality(benchmark):
     from repro.context.user_context import UserContext
 
-    etl, etl_output = run_static_etl()
+    telemetry = bench_telemetry()
+    (etl, etl_output), __ = timed(telemetry, "static_etl", run_static_etl)
     __, precision_result = benchmark.pedantic(run_wrangler, rounds=2, iterations=1)
-    __, completeness_result = run_wrangler(
-        UserContext.completeness_first("bench-complete", TARGET_SCHEMA)
+    (__, completeness_result), __ = timed(
+        telemetry,
+        "wrangle.completeness",
+        lambda: run_wrangler(
+            UserContext.completeness_first("bench-complete", TARGET_SCHEMA)
+        ),
     )
     etl_score = wrangle_scorecard(etl_output, WORLD)
     precision_score = wrangle_scorecard(precision_result.table, WORLD)
@@ -67,6 +80,7 @@ def test_e1_manual_effort_and_quality(benchmark):
             rows,
         ),
     )
+    emit_telemetry("E1-automation", telemetry.snapshot())
     # O(#sources) manual actions for ETL vs one declared context.
     assert etl.manual_actions >= len(WORLD.source_rows)
     # Each context dominates ETL on its own priority dimension.

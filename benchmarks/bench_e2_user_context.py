@@ -21,7 +21,15 @@ from repro.evaluation import wrangle_scorecard
 from repro.model.annotations import Dimension
 from repro.sources.memory import MemorySource
 
-from helpers import build_wrangler, emit, format_table, standard_world
+from helpers import (
+    bench_telemetry,
+    build_wrangler,
+    emit,
+    emit_telemetry,
+    format_table,
+    standard_world,
+    timed,
+)
 
 WORLD = standard_world(n_products=60, n_sources=8, seed=202)
 
@@ -50,10 +58,15 @@ def utility(scorecard: dict[str, float], context: UserContext) -> float:
 
 
 def test_e2_fitness_for_purpose(benchmark):
+    telemetry = bench_telemetry()
     precision_result = benchmark.pedantic(
         lambda: build_wrangler(WORLD, PRECISION).run(), rounds=1, iterations=1
     )
-    completeness_result = build_wrangler(WORLD, COMPLETENESS).run()
+    completeness_result, __ = timed(
+        telemetry,
+        "wrangle.completeness",
+        build_wrangler(WORLD, COMPLETENESS).run,
+    )
     etl = StaticETL(TARGET_SCHEMA)
     for name, rows in WORLD.source_rows.items():
         etl.add_source(MemorySource(name, rows))
@@ -84,6 +97,7 @@ def test_e2_fitness_for_purpose(benchmark):
         ),
     )
 
+    emit_telemetry("E2-user-context", telemetry.snapshot())
     # Each context's own pipeline beats the hard-wired ETL on that
     # context's utility — "fit for purpose" is context-relative.
     assert utility(outputs["precision pipeline"], PRECISION) > utility(

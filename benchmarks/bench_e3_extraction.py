@@ -23,7 +23,7 @@ from repro.extraction.induction import auto_induce, induce_wrapper
 from repro.extraction.patterns import recogniser
 from repro.extraction.repair import WrapperRepairer
 
-from helpers import emit, format_table
+from helpers import bench_telemetry, emit, emit_telemetry, format_table, timed
 
 CONTEXT = DataContext("products").with_ontology(product_ontology())
 
@@ -90,12 +90,18 @@ def run_mode(sites, mode: str) -> float:
 
 
 def test_e3_extraction_scale_and_context(benchmark):
+    telemetry = bench_telemetry()
     rows = []
     results = {}
     for n_sites in (6, 15, 30):
         sites = make_sites(n_sites, seed=n_sites)
         for mode in ("auto", "examples", "examples+repair"):
-            accuracy = run_mode(sites, mode)
+            accuracy, __ = timed(
+                telemetry,
+                f"extract.{mode}",
+                lambda s=sites, m=mode: run_mode(s, m),
+                sites=n_sites,
+            )
             results[(n_sites, mode)] = accuracy
             rows.append([n_sites, mode, f"{accuracy:.2f}"])
     benchmark.pedantic(
@@ -106,6 +112,7 @@ def test_e3_extraction_scale_and_context(benchmark):
         "E3-extraction",
         format_table(["sites", "mode", "price field accuracy"], rows),
     )
+    emit_telemetry("E3-extraction", telemetry.snapshot())
     # Context-informed repair dominates, at every scale.
     for n_sites in (6, 15, 30):
         assert (

@@ -18,7 +18,7 @@ from repro.datagen.products import TARGET_SCHEMA, SourceSpec, generate_world
 from repro.matching.schema_matching import SchemaMatcher
 from repro.model.records import Table
 
-from helpers import emit, format_table
+from helpers import bench_telemetry, emit, emit_telemetry, format_table, timed
 
 CONTEXT = DataContext("products").with_ontology(product_ontology())
 
@@ -85,15 +85,21 @@ def test_e4_evidence_ablation(benchmark):
     feedback = feedback_for(tables)
     scores = {}
     rows = []
+    telemetry = bench_telemetry()
     for channels in CHANNEL_SETS:
         fb = feedback if "feedback" in channels else None
-        f1 = matching_f1(tables, channels, fb)
+        f1, __ = timed(
+            telemetry,
+            "match." + "+".join(channels),
+            lambda c=channels, f=fb: matching_f1(tables, c, f),
+        )
         scores[channels] = f1
         rows.append(["+".join(channels), f"{f1:.3f}"])
     benchmark.pedantic(
         lambda: matching_f1(tables, CHANNEL_SETS[2]), rounds=3, iterations=1
     )
     emit("E4-evidence", format_table(["evidence channels", "matching F1"], rows))
+    emit_telemetry("E4-evidence", telemetry.snapshot())
 
     ordered = [scores[c] for c in CHANNEL_SETS]
     # More evidence never hurts, and full evidence is (near-)perfect.

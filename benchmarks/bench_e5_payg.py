@@ -20,7 +20,14 @@ import random
 from repro.datagen.products import ProductWorld, SourceSpec, generate_world
 from repro.feedback.types import ValueFeedback
 
-from helpers import build_wrangler, emit, format_table
+from helpers import (
+    bench_telemetry,
+    build_wrangler,
+    emit,
+    emit_telemetry,
+    format_table,
+    timed,
+)
 
 
 def stale_feed_world(n_products: int = 60, seed: int = 505) -> ProductWorld:
@@ -149,7 +156,12 @@ def run_curves():
 
 
 def test_e5_payg_curves(benchmark):
-    shared, siloed = benchmark.pedantic(run_curves, rounds=1, iterations=1)
+    telemetry = bench_telemetry()
+    (shared, siloed), __ = timed(
+        telemetry,
+        "payg.curves",
+        lambda: benchmark.pedantic(run_curves, rounds=1, iterations=1),
+    )
     rows = []
     for index, (s, i) in enumerate(zip(shared, siloed)):
         payment = index * BATCH * 0.2
@@ -162,6 +174,7 @@ def test_e5_payg_curves(benchmark):
             rows,
         ),
     )
+    emit_telemetry("E5-payg", telemetry.snapshot())
     # Shared propagation lifts entities nobody annotated...
     assert shared[-1] > siloed[-1] + 0.03
     # ...and the lift grows with payment (allowing for EM noise en route).

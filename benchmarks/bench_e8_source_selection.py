@@ -16,7 +16,7 @@ import random
 
 from repro.selection.source_selection import SourceProfile, SourceSelector
 
-from helpers import emit, format_table
+from helpers import bench_telemetry, emit, emit_telemetry, format_table, timed
 
 
 def make_profiles(n_sources: int, seed: int) -> list[SourceProfile]:
@@ -41,9 +41,14 @@ def make_profiles(n_sources: int, seed: int) -> list[SourceProfile]:
 
 
 def test_e8_marginal_gain_crossover(benchmark):
+    telemetry = bench_telemetry()
     profiles = make_profiles(24, seed=88)
     selector = SourceSelector(n_items=150, gain_per_item=1.0, seed=88)
-    full_trace = selector.select(profiles, force_all=True)
+    full_trace, __ = timed(
+        telemetry,
+        "select.forced_trace",
+        lambda: selector.select(profiles, force_all=True),
+    )
     stopped = benchmark.pedantic(
         lambda: selector.select(profiles), rounds=1, iterations=1
     )
@@ -69,6 +74,7 @@ def test_e8_marginal_gain_crossover(benchmark):
         ),
     )
 
+    emit_telemetry("E8-source-selection", telemetry.snapshot())
     n_selected = len(stopped.selected)
     # Less is more: the selector stops well short of all 24 sources...
     assert n_selected < len(profiles) * 0.75

@@ -17,7 +17,7 @@ import random
 from repro.fusion.copying import copy_aware_em, detect_copying
 from repro.fusion.truth import AccuEM, Claim, TruthFinder, majority_baseline
 
-from helpers import emit, format_table
+from helpers import bench_telemetry, emit, emit_telemetry, format_table, timed
 
 
 def claim_set(n_items: int, bad_sources: int, seed: int):
@@ -45,13 +45,19 @@ def claim_set(n_items: int, bad_sources: int, seed: int):
 
 
 def test_e9_fusion_models(benchmark):
+    telemetry = bench_telemetry()
     rows = []
     results = {}
     for bad_sources in (2, 3, 4, 5):
         claims, truth = claim_set(80, bad_sources, seed=900 + bad_sources)
         vote = majority_baseline(claims).accuracy_against(truth)
         tf = TruthFinder(implication_weight=0.0).run(claims).accuracy_against(truth)
-        em = AccuEM().run(claims).accuracy_against(truth)
+        em, __ = timed(
+            telemetry,
+            "fuse.accu_em",
+            lambda c=claims, t=truth: AccuEM().run(c).accuracy_against(t),
+            bad_sources=bad_sources,
+        )
         # Copy-aware EM anchors on 15% trusted items (master data /
         # consolidated feedback), per Section 2.3.
         trusted = dict(list(truth.items())[:12])
@@ -71,6 +77,7 @@ def test_e9_fusion_models(benchmark):
             rows,
         ),
     )
+    emit_telemetry("E9-fusion", telemetry.snapshot())
     # In the identifiable regime (bad sources do not yet form a coherent
     # majority bloc) the uncertainty-aware model dominates voting.
     vote3, tf3, em3, __ = results[3]

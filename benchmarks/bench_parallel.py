@@ -36,6 +36,11 @@ from helpers import (
 N_ROWS = 800
 N_PARTITIONS = 8
 WORKER_COUNTS = (2, 4)
+#: Repetitions per backend; the ratcheted timing is the best of these.
+#: A single-shot wall-clock sample swings past the ratchet's tolerance
+#: on a loaded machine — the minimum is stable against scheduler noise
+#: while still moving when the code actually regresses.
+TIMING_REPS = 3
 
 
 def blocking_key(record):
@@ -70,9 +75,17 @@ def test_bench_parallel_er():
             executor=executor,
         )
 
+    def best_of(label, thunk, **attributes):
+        result, best = None, None
+        for _ in range(TIMING_REPS):
+            value, elapsed = timed(telemetry, label, thunk, **attributes)
+            if best is None or elapsed < best:
+                result, best = value, elapsed
+        return result, best
+
     with SequentialExecutor() as sequential:
-        baseline, baseline_time = timed(
-            telemetry, "bench.sequential", lambda: run(sequential)
+        baseline, baseline_time = best_of(
+            "bench.sequential", lambda: run(sequential)
         )
 
     timings = {"sequential": baseline_time}
@@ -80,8 +93,7 @@ def test_bench_parallel_er():
     clusters_equal = True
     for workers in WORKER_COUNTS:
         with ParallelExecutor(workers) as executor:
-            result, elapsed = timed(
-                telemetry,
+            result, elapsed = best_of(
                 f"bench.parallel-{workers}",
                 lambda: run(executor),
                 workers=workers,
@@ -133,7 +145,7 @@ def test_bench_parallel_er():
         encoding="utf-8",
     )
 
-    emit_telemetry("BENCH-parallel-er", telemetry.snapshot())
+    emit_telemetry("BENCH_parallel_er", telemetry.snapshot())
     rows = [
         [
             name,
@@ -143,7 +155,7 @@ def test_bench_parallel_er():
         for name in timings
     ]
     emit(
-        "BENCH-parallel-er",
+        "BENCH_parallel_er",
         format_table(["backend", "seconds", "speedup"], rows)
         + f"\ncores={cores} clusters={len(baseline.clusters)} "
         f"pairs={baseline.compared}",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import datetime
 import json
+import re
 from pathlib import Path
 from typing import Callable, TypeVar
 
@@ -29,8 +30,33 @@ RESULTS_DIR = Path(__file__).parent / "results"
 T = TypeVar("T")
 
 
+#: Benchmark-suite artifact names must be ``BENCH_<snake_case>`` so the
+#: perf ratchet (``python -m repro.analysis.cost --ratchet``) can pair
+#: fresh ``BENCH_*.json`` records with committed baselines by glob.
+_BENCH_NAME_RE = re.compile(r"BENCH_[a-z0-9_]+")
+
+
+def check_experiment_name(experiment: str) -> str:
+    """Enforce the result-naming convention; returns the name unchanged.
+
+    Experiment names are free-form (``E6-incremental`` etc.) *except*
+    for the ratcheted benchmark records: anything claiming the ``BENCH``
+    prefix must match ``BENCH_<snake_case>`` exactly, or the ratchet's
+    baseline glob would silently miss it.
+    """
+    if experiment.upper().startswith("BENCH") and not _BENCH_NAME_RE.fullmatch(
+        experiment
+    ):
+        raise ValueError(
+            f"benchmark artifact name {experiment!r} violates the "
+            "BENCH_<snake_case> convention (e.g. 'BENCH_parallel_er')"
+        )
+    return experiment
+
+
 def emit(experiment: str, text: str) -> None:
     """Print an experiment table and persist it for EXPERIMENTS.md."""
+    check_experiment_name(experiment)
     banner = f"\n=== {experiment} ===\n{text}\n"
     print(banner)
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -61,8 +87,10 @@ def emit_telemetry(experiment: str, snapshot: dict) -> Path:
 
     Raises when the snapshot does not match the ``repro.obs`` telemetry
     schema — a benchmark silently emitting malformed telemetry would
-    defeat the point of a shared format.
+    defeat the point of a shared format — or when the experiment name
+    violates the ``BENCH_<snake_case>`` ratchet convention.
     """
+    check_experiment_name(experiment)
     problems = validate_telemetry(snapshot)
     if problems:
         raise ValueError(

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis.cost`` — the cost-certifier CLI."""
+
+import sys
+
+from repro.analysis.cost.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,224 @@
+"""Telemetry-driven calibration of the cost model.
+
+Closes the loop between the static model and the runtime: the committed
+``*.telemetry.json`` snapshots record every dataflow node's observed
+compute-seconds (``dataflow.nodes[name].seconds``) with its stage label,
+so the per-operator unit cost can be *fitted* instead of guessed.  The
+fit is one parameter per stage — the seconds-per-run that minimises the
+squared error over that stage's observed node runs (i.e. the mean) —
+and the report states the prediction error the fitted constant achieves
+against the same observations, per operator and overall.
+
+A stage whose fitted constant still mispredicts its own observations by
+more than :data:`DRIFT_LIMIT` (relative) gets a ``CC010`` finding: the
+static model and the runtime have diverged for that operator, and
+per-stage estimates should not be trusted until the model is re-fitted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.cost.model import cc
+from repro.errors import AnalysisError
+
+__all__ = ["CalibrationReport", "StageFit", "calibrate"]
+
+#: Mean relative prediction error above which a stage is drifting.
+DRIFT_LIMIT = 0.75
+
+
+@dataclass(frozen=True)
+class StageFit:
+    """One stage's fitted unit cost and its in-sample prediction error."""
+
+    stage: str
+    samples: int
+    runs: int
+    observed_seconds: float
+    unit_seconds_per_run: float
+    mean_relative_error: float
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Per-operator fits plus the snapshots they were fitted from."""
+
+    fits: tuple[StageFit, ...]
+    snapshots: tuple[str, ...]
+    nodes_used: int
+
+    @property
+    def overall_error(self) -> float:
+        """Sample-weighted mean relative prediction error."""
+        total = sum(fit.samples for fit in self.fits)
+        if not total:
+            return 0.0
+        return (
+            sum(fit.mean_relative_error * fit.samples for fit in self.fits)
+            / total
+        )
+
+    def diagnostics(self) -> list[Diagnostic]:
+        """``CC010`` findings for stages whose fit has drifted."""
+        findings = []
+        for fit in self.fits:
+            if fit.mean_relative_error <= DRIFT_LIMIT:
+                continue
+            findings.append(
+                cc(
+                    "CC010",
+                    "calibration",
+                    fit.stage,
+                    f"stage {fit.stage!r} unit cost "
+                    f"{fit.unit_seconds_per_run:.6f}s/run mispredicts its "
+                    f"own {fit.samples} observations by "
+                    f"{100.0 * fit.mean_relative_error:.0f}% on average",
+                    "re-fit UNIT_COSTS from fresh telemetry, or split "
+                    "the stage into operators with distinct costs",
+                )
+            )
+        return findings
+
+    def render(self) -> str:
+        """The per-operator calibration table."""
+        lines = [
+            f"calibrated from {len(self.snapshots)} snapshot(s), "
+            f"{self.nodes_used} node observation(s)"
+        ]
+        header = (
+            f"{'stage':<12} {'nodes':>5} {'runs':>5} "
+            f"{'seconds':>9} {'s/run':>10} {'error':>7}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for fit in self.fits:
+            lines.append(
+                f"{fit.stage:<12} {fit.samples:>5} {fit.runs:>5} "
+                f"{fit.observed_seconds:>9.3f} "
+                f"{fit.unit_seconds_per_run:>10.6f} "
+                f"{100.0 * fit.mean_relative_error:>6.1f}%"
+            )
+        lines.append(
+            f"overall mean relative prediction error: "
+            f"{100.0 * self.overall_error:.1f}%"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "snapshots": list(self.snapshots),
+            "nodes_used": self.nodes_used,
+            "stages": {
+                fit.stage: {
+                    "samples": fit.samples,
+                    "runs": fit.runs,
+                    "observed_seconds": round(fit.observed_seconds, 6),
+                    "unit_seconds_per_run": round(
+                        fit.unit_seconds_per_run, 6
+                    ),
+                    "mean_relative_error": round(
+                        fit.mean_relative_error, 4
+                    ),
+                }
+                for fit in self.fits
+            },
+            "overall_error": round(self.overall_error, 4),
+        }
+
+
+def _telemetry_files(paths: Sequence[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.telemetry.json")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise AnalysisError(f"no such file or directory: {raw}")
+    return files
+
+
+def _node_observations(
+    payload: Mapping[str, Any],
+) -> list[tuple[str, int, float]]:
+    """(stage, runs, seconds) per node with at least one timed run."""
+    dataflow = payload.get("dataflow")
+    nodes = dataflow.get("nodes") if isinstance(dataflow, Mapping) else None
+    observations: list[tuple[str, int, float]] = []
+    if not isinstance(nodes, Mapping):
+        return observations
+    for stats in nodes.values():
+        if not isinstance(stats, Mapping):
+            continue
+        runs = stats.get("runs")
+        seconds = stats.get("seconds")
+        stage = stats.get("stage") or "unstaged"
+        if (
+            isinstance(runs, int)
+            and runs > 0
+            and isinstance(seconds, (int, float))
+            and seconds > 0
+        ):
+            observations.append((str(stage), runs, float(seconds)))
+    return observations
+
+
+def calibrate(paths: Sequence[str]) -> CalibrationReport:
+    """Fit per-operator unit costs from telemetry snapshots.
+
+    ``paths`` may name snapshot files or directories to glob for
+    ``*.telemetry.json``.  Snapshots without per-node timings contribute
+    nothing (and a run over only such snapshots reports zero nodes);
+    unreadable or non-JSON files are a usage error.
+    """
+    observations: list[tuple[str, int, float]] = []
+    used: list[str] = []
+    for path in _telemetry_files(paths):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as failure:
+            raise AnalysisError(
+                f"cannot read telemetry from {path}: {failure}"
+            ) from failure
+        found = _node_observations(payload)
+        if found:
+            used.append(str(path))
+            observations.extend(found)
+
+    by_stage: dict[str, list[tuple[int, float]]] = {}
+    for stage, runs, seconds in observations:
+        by_stage.setdefault(stage, []).append((runs, seconds))
+
+    fits: list[StageFit] = []
+    for stage in sorted(by_stage):
+        samples = by_stage[stage]
+        total_runs = sum(runs for runs, _ in samples)
+        total_seconds = sum(seconds for _, seconds in samples)
+        unit = total_seconds / total_runs if total_runs else 0.0
+        errors = [
+            abs(unit * runs - seconds) / seconds
+            for runs, seconds in samples
+        ]
+        fits.append(
+            StageFit(
+                stage=stage,
+                samples=len(samples),
+                runs=total_runs,
+                observed_seconds=total_seconds,
+                unit_seconds_per_run=unit,
+                mean_relative_error=(
+                    sum(errors) / len(errors) if errors else 0.0
+                ),
+            )
+        )
+    return CalibrationReport(
+        fits=tuple(fits),
+        snapshots=tuple(used),
+        nodes_used=len(observations),
+    )

@@ -1,0 +1,350 @@
+"""The cost & cardinality certifier.
+
+Walks a wrangle plan's dataflow topology — reusing the
+:class:`~repro.core.dataflow.Dataflow` graph when one is supplied, never
+re-deriving it — and threads a
+:class:`~repro.analysis.cost.model.CardinalityEstimate` from node to
+node, exactly as :mod:`repro.analysis.typecheck.checker` threads
+:class:`~repro.model.schema.Schema`.  Each node is dispatched to its
+:class:`~repro.analysis.cost.model.CostSignature`, so a quadratic
+resolve, a degenerate blocking configuration, or a plan whose estimated
+access cost exceeds its declared budget all surface as ``CC``
+diagnostics *before* any source is fully accessed.
+
+Everything is duck-typed (plans, registries, dataflows), matching the
+plan validator's contract: tests can feed hand-built stand-ins, and this
+module never imports :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    sort_diagnostics,
+)
+from repro.analysis.cost.model import (
+    COST_SIGNATURES,
+    PROBE_BUDGET_FRACTION_LIMIT,
+    CardinalityEstimate,
+    CostContext,
+    ResolutionProfile,
+    cc,
+    source_facts,
+)
+
+__all__ = ["CostCertifier", "PlanCostReport", "check_plan_cost"]
+
+
+@dataclass(frozen=True)
+class PlanCostReport:
+    """Per-node estimates plus plan-level totals and findings."""
+
+    estimates: Mapping[str, CardinalityEstimate]
+    stages: Mapping[str, str | None]
+    findings: tuple[Diagnostic, ...]
+    budget: float | None = None
+
+    @property
+    def total_access_cost(self) -> float:
+        """Estimated access spend in ``cost_per_access`` units."""
+        return sum(e.access_cost for e in self.estimates.values())
+
+    @property
+    def total_work(self) -> float:
+        return sum(e.work for e in self.estimates.values())
+
+    @property
+    def predicted_seconds(self) -> float:
+        """Predicted compute-seconds under the per-stage unit costs."""
+        return sum(
+            estimate.seconds(self.stages.get(name))
+            for name, estimate in self.estimates.items()
+        )
+
+    @property
+    def over_budget(self) -> bool:
+        return (
+            self.budget is not None
+            and self.total_access_cost > self.budget
+        )
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity finding (the admission-control verdict)."""
+        return not any(
+            d.severity is Severity.ERROR for d in self.findings
+        )
+
+    def diagnostics(
+        self, min_severity: Severity = Severity.WARNING
+    ) -> list[Diagnostic]:
+        """The findings at ``min_severity`` or worse, stably ordered."""
+        return [
+            d for d in self.findings
+            if d.severity.rank >= min_severity.rank
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON form behind the committed plan→cost snapshot."""
+        return {
+            "nodes": {
+                name: self.estimates[name].to_dict()
+                for name in sorted(self.estimates)
+            },
+            "totals": {
+                "access_cost": round(self.total_access_cost, 4),
+                "work": round(self.total_work, 2),
+                "predicted_seconds": round(self.predicted_seconds, 4),
+            },
+            "budget": self.budget,
+            "over_budget": self.over_budget,
+        }
+
+
+class CostCertifier:
+    """Static cost propagation over a plan's dataflow topology."""
+
+    def check(
+        self,
+        plan: Any,
+        user: Any = None,
+        registry: Any = None,
+        dataflow: Any = None,
+        budget: float | None = None,
+        discover_constraints: bool = False,
+        resolution: ResolutionProfile | None = None,
+    ) -> PlanCostReport:
+        """The full ``CC`` certificate for one plan.
+
+        ``registry`` supplies per-source row hints and access costs;
+        ``dataflow`` supplies the walk order (without one, the
+        wrangler's canonical pipeline shape is synthesised from the
+        plan's sources); ``budget`` is the declared plan/tenant budget
+        (``Wrangler.budget(...)``) the estimated access cost is checked
+        against.
+        """
+        context = CostContext(
+            plan=plan,
+            user=user,
+            sources=source_facts(registry),
+            budget=budget,
+            discover_constraints=discover_constraints,
+            resolution=resolution or ResolutionProfile(),
+        )
+        order, dependencies = self._topology(dataflow, context)
+        estimates: dict[str, CardinalityEstimate] = {}
+        stages: dict[str, str | None] = {}
+        findings: list[Diagnostic] = []
+        for name in order:
+            kind, _, suffix = name.partition(":")
+            signature = COST_SIGNATURES.get(kind)
+            incoming = self._first_input_estimate(
+                name, dependencies, estimates
+            )
+            if signature is None:
+                findings.append(
+                    cc(
+                        "CC009",
+                        "dataflow",
+                        name,
+                        f"node kind {kind!r} has no cost signature; the "
+                        f"estimate cannot propagate through {name!r}",
+                        "register a CostSignature for the kind, or "
+                        "accept assumed downstream cardinalities",
+                    )
+                )
+                estimates[name] = CardinalityEstimate(
+                    rows=incoming.rows, confidence="assumed"
+                )
+                stages[name] = None
+                continue
+            sub = suffix or None
+            outgoing = signature.estimate(context, sub, incoming)
+            findings.extend(signature.check(context, sub, outgoing))
+            estimates[name] = outgoing
+            stages[name] = signature.stage
+        findings.extend(self._budget_findings(context, estimates))
+        report = PlanCostReport(
+            estimates=estimates,
+            stages=stages,
+            findings=tuple(sort_diagnostics(findings)),
+            budget=budget,
+        )
+        self._annotate(dataflow, report)
+        return report
+
+    # -- plan-level checks ------------------------------------------------
+
+    @staticmethod
+    def _budget_findings(
+        context: CostContext,
+        estimates: Mapping[str, CardinalityEstimate],
+    ) -> list[Diagnostic]:
+        findings: list[Diagnostic] = []
+        total = sum(e.access_cost for e in estimates.values())
+        probe_cost = sum(
+            e.access_cost
+            for name, e in estimates.items()
+            if name.partition(":")[0] == "probe"
+        )
+        budget = context.budget
+        if budget is not None and total > budget:
+            findings.append(
+                cc(
+                    "CC005",
+                    "plan",
+                    None,
+                    f"estimated access cost {total:.2f} exceeds the "
+                    f"declared budget {budget:.2f} "
+                    f"(probe overhead {probe_cost:.2f} + "
+                    f"{len(context.planned_sources)} acquisitions)",
+                    "raise Wrangler.budget(), drop sources from the "
+                    "registry, or let the planner select fewer sources",
+                )
+            )
+        if (
+            budget is not None
+            and budget > 0
+            and probe_cost >= PROBE_BUDGET_FRACTION_LIMIT * budget
+        ):
+            findings.append(
+                cc(
+                    "CC007",
+                    "plan",
+                    None,
+                    f"probe overhead {probe_cost:.2f} consumes "
+                    f"{100.0 * probe_cost / budget:.0f}% of the declared "
+                    f"budget {budget:.2f}",
+                    "trim the registry before planning, or raise the "
+                    "budget",
+                )
+            )
+        if (
+            budget is None
+            and context.user_budget == float("inf")
+            and total > 0
+        ):
+            findings.append(
+                cc(
+                    "CC006",
+                    "plan",
+                    None,
+                    f"estimated access cost {total:.2f} is bounded by no "
+                    f"budget (no Wrangler.budget() declaration, user "
+                    f"budget unbounded)",
+                    "declare a plan budget via Wrangler.budget() so "
+                    "admission control can gate the tenant",
+                )
+            )
+        return findings
+
+    # -- topology (mirrors the schema checker's walk) ---------------------
+
+    def _topology(
+        self, dataflow: Any, context: CostContext
+    ) -> tuple[list[str], dict[str, tuple[str, ...]]]:
+        if dataflow is not None and hasattr(dataflow, "dependency_map"):
+            dependencies = {
+                name: tuple(deps)
+                for name, deps in dataflow.dependency_map().items()
+            }
+            if hasattr(dataflow, "nodes"):
+                order = list(dataflow.nodes())
+            else:
+                order = self._toposort(dependencies)
+            return order, dependencies
+        return self._synthetic_topology(context)
+
+    @staticmethod
+    def _synthetic_topology(
+        context: CostContext,
+    ) -> tuple[list[str], dict[str, tuple[str, ...]]]:
+        dependencies: dict[str, tuple[str, ...]] = {
+            "probe": (),
+            "plan": ("probe",),
+        }
+        mapped_nodes = []
+        for name in context.planned_sources:
+            dependencies[f"acquire:{name}"] = ("plan",)
+            dependencies[f"match:{name}"] = (f"acquire:{name}",)
+            dependencies[f"mapping:{name}"] = (f"match:{name}",)
+            dependencies[f"mapped:{name}"] = (
+                f"acquire:{name}",
+                f"mapping:{name}",
+            )
+            dependencies[f"quality:{name}"] = (f"mapped:{name}",)
+            mapped_nodes.append(f"mapped:{name}")
+        dependencies["select"] = tuple(
+            f"quality:{name}" for name in context.planned_sources
+        ) or ("plan",)
+        dependencies["translate"] = ("select", *mapped_nodes)
+        dependencies["resolve"] = ("translate",)
+        dependencies["fuse"] = ("resolve",)
+        dependencies["repair"] = ("fuse",)
+        return CostCertifier._toposort(dependencies), dependencies
+
+    @staticmethod
+    def _toposort(
+        dependencies: Mapping[str, Sequence[str]],
+    ) -> list[str]:
+        order: list[str] = []
+        visiting: set[str] = set()
+        done: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in done or name in visiting:
+                return  # cycles/dangling edges are PV001/PV002's business
+            visiting.add(name)
+            for dep in dependencies.get(name, ()):
+                if dep in dependencies:
+                    visit(dep)
+            visiting.discard(name)
+            done.add(name)
+            order.append(name)
+
+        for name in sorted(dependencies):
+            visit(name)
+        return order
+
+    @staticmethod
+    def _first_input_estimate(
+        name: str,
+        dependencies: Mapping[str, Sequence[str]],
+        estimates: Mapping[str, CardinalityEstimate],
+    ) -> CardinalityEstimate:
+        """The estimate flowing into ``name``: its first dependency that
+        carries rows, else its first estimated dependency at all."""
+        first: CardinalityEstimate | None = None
+        for dep in dependencies.get(name, ()):
+            estimate = estimates.get(dep)
+            if estimate is None:
+                continue
+            if first is None:
+                first = estimate
+            if estimate.rows > 0:
+                return estimate
+        return first or CardinalityEstimate()
+
+    # -- dataflow annotation ----------------------------------------------
+
+    @staticmethod
+    def _annotate(dataflow: Any, report: PlanCostReport) -> None:
+        """Write predicted per-node seconds onto the dataflow (when it
+        supports cost annotation), so telemetry exports carry them."""
+        if dataflow is None or not hasattr(dataflow, "annotate_costs"):
+            return
+        dataflow.annotate_costs(
+            {
+                name: round(estimate.seconds(report.stages.get(name)), 6)
+                for name, estimate in report.estimates.items()
+            }
+        )
+
+
+def check_plan_cost(**artifacts: Any) -> PlanCostReport:
+    """Convenience wrapper: ``CostCertifier().check(**artifacts)``."""
+    return CostCertifier().check(**artifacts)

@@ -882,3 +882,68 @@ def _check_no_shared_rng(context: ModuleContext) -> Iterator[Diagnostic]:
                 "construct a seeded random.Random and call the method "
                 "on the instance",
             )
+
+
+# -- REP015 ---------------------------------------------------------------
+
+#: The helpers every benchmark must report through (bare name or
+#: ``helpers.``-qualified): ``emit_telemetry`` persists the
+#: schema-checked snapshot, ``timed`` routes measurement through the
+#: tracer.  ``emit`` alone is the legacy print-only path.
+_BENCH_TELEMETRY_HELPERS = {"emit_telemetry", "timed"}
+
+
+def _is_benchmark_module(context: ModuleContext) -> bool:
+    parts = context.path.replace("\\", "/").split("/")
+    return "benchmarks" in parts and parts[-1].startswith("bench_")
+
+
+@rule(
+    "REP015",
+    "bench-telemetry-required",
+    Severity.ERROR,
+    "A benchmark script under benchmarks/ that never calls "
+    "helpers.emit_telemetry or helpers.timed reports ad-hoc numbers the "
+    "perf ratchet and calibration loop cannot see: every benchmark must "
+    "route measurement through the observability layer, and raw print() "
+    "calls must go through helpers.emit so results land under "
+    "benchmarks/results/.",
+)
+def _check_bench_telemetry_required(
+    context: ModuleContext,
+) -> Iterator[Diagnostic]:
+    if not _is_benchmark_module(context):
+        return
+    called: set[str] = set()
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            called.add(func.id)
+        elif isinstance(func, ast.Attribute):
+            called.add(func.attr)
+    if not (_BENCH_TELEMETRY_HELPERS & called):
+        yield context.diagnostic(
+            "REP015",
+            Severity.ERROR,
+            context.tree,
+            "benchmark emits no telemetry: neither emit_telemetry() nor "
+            "timed() is ever called",
+            "wrap measured work in helpers.timed() and persist the "
+            "snapshot with helpers.emit_telemetry()",
+        )
+    for node in ast.walk(context.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield context.diagnostic(
+                "REP015",
+                Severity.ERROR,
+                node,
+                "raw print() in a benchmark bypasses benchmarks/results/",
+                "report through helpers.emit() so the table is persisted "
+                "for EXPERIMENTS.md",
+            )

@@ -3,13 +3,15 @@
 ``Wrangler.run(validate=True)`` funnels through :func:`run_preflight`,
 which folds the plan validator's structural findings (``PV0xx``), the
 schema-flow checker's type findings (``TC001``–``TC009``), the purity
-certifier's node verdicts (``TC010``), and the parallel-safety
-certifier's race findings (``PX0xx``) into one
+certifier's node verdicts (``TC010``), the parallel-safety certifier's
+race findings (``PX0xx``), and the cost certifier's budget and
+cardinality findings (``CC0xx``) into one
 :class:`~repro.analysis.validator.ValidationReport` — so a plan is
 refused for a dangling dependency, an untypable mapping, an
-uncertifiable node, or a racy node body through exactly the same
-machinery.  The combined report is deduplicated and stably ordered:
-four gates can flag one node, but each exact finding appears once.
+uncertifiable node, a racy node body, or an over-budget estimate
+through exactly the same machinery.  The combined report is
+deduplicated and stably ordered: five gates can flag one node, but each
+exact finding appears once.
 """
 
 from __future__ import annotations
@@ -102,13 +104,20 @@ def run_preflight(
     certify: bool = True,
     analyser: PurityAnalyser | None = None,
     parallel_analyser: Any = None,
+    cost_budget: float | None = None,
+    discover_constraints: bool = False,
 ) -> ValidationReport:
     """Run the full pre-execution gate and fold findings into one report.
 
     Probe artifacts come from ``source_schemas``/``mappings`` when given
     explicitly, falling back to the ``probe/``-prefixed entries of
     ``working``.  ``certify=False`` skips purity and parallel-safety
-    certification (the other two gates still run).
+    certification (the other two gates still run).  When both a plan and
+    a registry are supplied, the cost certifier also runs: per-node
+    estimates are propagated through the dataflow (annotating it for
+    telemetry) and ``CC`` findings at warning severity or worse — an
+    estimate over the ``cost_budget`` declared via ``Wrangler.budget()``
+    is an error — join the report.
     """
     filed_schemas, filed_mappings = probe_artifacts(working)
     if source_schemas is None:
@@ -158,6 +167,21 @@ def run_preflight(
             analyser=parallel_analyser or ParallelAnalyser()
         )
         findings.extend(parallel_diagnostics(certificates))
+
+    if plan is not None and registry is not None:
+        from repro.analysis.cost import check_plan_cost
+
+        cost_report = check_plan_cost(
+            plan=plan,
+            user=user,
+            registry=registry,
+            dataflow=dataflow,
+            budget=cost_budget,
+            discover_constraints=discover_constraints,
+        )
+        findings.extend(
+            cost_report.diagnostics(min_severity=Severity.WARNING)
+        )
 
     return ValidationReport(
         tuple(sort_diagnostics(dedupe_diagnostics(findings)))

@@ -53,6 +53,10 @@ class _Node:
     #: "partition_local" / "global" / "unsafe"), or ``None`` before
     #: :meth:`Dataflow.certify_parallel` has run.
     parallel: str | None = None
+    #: Predicted compute-seconds from the static cost model, or ``None``
+    #: before :meth:`Dataflow.annotate_costs` has run.  A deterministic
+    #: estimate (not a measurement), so telemetry scrubbing keeps it.
+    cost: float | None = None
 
 
 class Dataflow:
@@ -405,6 +409,27 @@ class Dataflow:
         uncertified)."""
         return {name: node.parallel for name, node in self._nodes.items()}
 
+    # -- cost annotation ----------------------------------------------------
+
+    def annotate_costs(self, costs: Mapping[str, float]) -> None:
+        """Record predicted per-node compute-seconds from the cost model.
+
+        The cost certifier (see :mod:`repro.analysis.cost`) calls this
+        after propagating estimates through the topology, so telemetry
+        exports carry the prediction next to the observed ``seconds``
+        and the calibration loop can compare them.  Unknown names are
+        ignored — a synthetic topology may estimate nodes this graph
+        does not carry.
+        """
+        for name, predicted in costs.items():
+            node = self._nodes.get(name)
+            if node is not None:
+                node.cost = float(predicted)
+
+    def cost_map(self) -> dict[str, float | None]:
+        """Every node's predicted seconds (``None`` = unannotated)."""
+        return {name: node.cost for name, node in self._nodes.items()}
+
     def node_callables(self) -> list[tuple[str, Callable[..., Any]]]:
         """Every node's compute callable — the purity analyser's view."""
         return [
@@ -469,6 +494,7 @@ class Dataflow:
                 "clean": node.clean,
                 "purity": node.purity,
                 "parallel": node.parallel,
+                "cost": node.cost,
             }
             for name, node in self._nodes.items()
         }

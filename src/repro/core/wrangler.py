@@ -116,6 +116,11 @@ class Wrangler:
         #: source will be) wrapped, and the ledger records acquisition.
         self._resilience_policy: RetryPolicy | None = None
         self._quorum: float = 0.0
+        #: Declared plan/tenant cost budget (in ``cost_per_access``
+        #: units), set by :meth:`budget`.  ``None`` means unbounded: the
+        #: cost certifier still estimates, but admission control cannot
+        #: refuse the plan on spend.
+        self._cost_budget: float | None = None
         self.degradation: DegradationLedger | None = None
         self._flow: Dataflow | None = None
         self._match_evidence: dict[tuple[str, str], list[bool]] = {}
@@ -188,6 +193,22 @@ class Wrangler:
         """Register several sources."""
         for source in sources:
             self.add_source(source)
+        return self
+
+    def budget(self, total: float | None) -> "Wrangler":
+        """Declare the plan/tenant cost budget for admission control.
+
+        ``total`` is in ``cost_per_access`` units — the same currency as
+        :attr:`~repro.sources.base.SourceMetadata.cost_per_access` and
+        the planner's pay-as-you-go accounting.  The cost certifier (see
+        :mod:`repro.analysis.cost`) estimates every composed plan's
+        total access spend *statically* and the preflight gate refuses
+        plans whose estimate exceeds this declaration (``CC005``).
+        Pass ``None`` to clear the declaration.
+        """
+        if total is not None and total < 0:
+            raise ValueError(f"budget must be non-negative, got {total}")
+        self._cost_budget = None if total is None else float(total)
         return self
 
     def annotate_examples(
@@ -652,6 +673,8 @@ class Wrangler:
             working=self.working,
             master_key=self.master_key,
             date_attribute=self.date_attribute,
+            cost_budget=self._cost_budget,
+            discover_constraints=self.discover_constraints,
         )
 
     def preflight(self):

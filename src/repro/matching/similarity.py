@@ -33,10 +33,46 @@ _STOPWORDS = frozenset(
     {"the", "a", "an", "of", "and", "at", "in", "on", "for", "ltd", "inc", "co"}
 )
 
+#: Bounded memo caches keyed by the raw string — the tokenisation
+#: identity of a record attribute value.  Entity resolution compares
+#: each record against many candidates, so without these every record's
+#: value is re-tokenised once *per pair* instead of once per resolver
+#: pass (the regression test pins the once-per-record contract).  FIFO
+#: eviction at a fixed bound keeps long-running processes flat.
+_CACHE_LIMIT = 4096
+_token_set_cache: dict[str, frozenset[str]] = {}
+_name_token_cache: dict[str, tuple[str, ...]] = {}
+
+
+def _cache_put(cache: dict, key: str, value) -> None:
+    if len(cache) >= _CACHE_LIMIT:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+
 
 def token_set(text: str) -> frozenset[str]:
-    """Lower-cased alphanumeric tokens of ``text``."""
-    return frozenset(_TOKEN_RE.findall(text.lower()))
+    """Lower-cased alphanumeric tokens of ``text`` (memoised)."""
+    cached = _token_set_cache.get(text)
+    if cached is None:
+        cached = frozenset(_TOKEN_RE.findall(text.lower()))
+        _cache_put(_token_set_cache, text, cached)
+    return cached
+
+
+def _name_tokens(text: str) -> tuple[str, ...]:
+    """Ordered, stopword-stripped name tokens of ``text`` (memoised).
+
+    The Monge–Elkan tokenisation: order preserved (unlike
+    :func:`token_set`), stopwords dropped unless the name is made only
+    of them.
+    """
+    cached = _name_token_cache.get(text)
+    if cached is None:
+        tokens = _TOKEN_RE.findall(text.lower())
+        kept = [t for t in tokens if t not in _STOPWORDS]
+        cached = tuple(kept or tokens)
+        _cache_put(_name_token_cache, text, cached)
+    return cached
 
 
 def levenshtein(a: str, b: str) -> int:
@@ -193,12 +229,8 @@ def monge_elkan(a: str, b: str, combine: str = "mean") -> float:
     for low-cardinality identity fields where one extra word means a
     different entity.
     """
-    def strip_stopwords(tokens: list[str]) -> list[str]:
-        kept = [t for t in tokens if t not in _STOPWORDS]
-        return kept or tokens  # a name made only of stopwords keeps them
-
-    tokens_a = strip_stopwords(_TOKEN_RE.findall(a.lower()))
-    tokens_b = strip_stopwords(_TOKEN_RE.findall(b.lower()))
+    tokens_a = _name_tokens(a)
+    tokens_b = _name_tokens(b)
     if not tokens_a and not tokens_b:
         return 1.0
     if not tokens_a or not tokens_b:
@@ -216,7 +248,7 @@ def monge_elkan(a: str, b: str, combine: str = "mean") -> float:
         # ("engineer"/"scientist" ≈ 0.55) is noise, not half a match.
         return score if score >= 0.85 else 0.3 * score
 
-    def directed(src: list[str], dst: list[str]) -> float:
+    def directed(src: Sequence[str], dst: Sequence[str]) -> float:
         return sum(
             max(token_sim(token, other) for other in dst) for token in src
         ) / len(src)

@@ -16,8 +16,12 @@ Snapshot schema (version 1)::
                   "histograms": {name: {count,total,mean,p50,p95,max}}},
       "spans": [{name,start,end,duration,attributes,children:[...]}],
       "dataflow": {"nodes": {name: {runs,hits,invalidations,seconds,
-                                    stage,clean}}}
+                                    stage,clean,purity,parallel,cost}}}
     }
+
+``cost`` is the static cost model's predicted seconds for the node (or
+null before certification) — a deterministic estimate, so unlike
+``seconds`` it survives :func:`scrub_timings`.
 """
 
 from __future__ import annotations
@@ -233,5 +237,12 @@ def validate_telemetry(payload: Any) -> list[str]:
             if parallel is not None and not isinstance(parallel, str):
                 problems.append(
                     f"{where}.parallel: expected a string or null"
+                )
+            cost = stats.get("cost")
+            if cost is not None and (
+                not isinstance(cost, (int, float)) or isinstance(cost, bool)
+            ):
+                problems.append(
+                    f"{where}.cost: expected a number or null"
                 )
     return problems

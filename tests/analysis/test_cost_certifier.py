@@ -1,0 +1,273 @@
+"""The cost certifier over hand-built stand-ins: estimate propagation,
+the CC blow-up rules, and budget admission control."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.cost import (
+    CostCertifier,
+    ResolutionProfile,
+    check_plan_cost,
+)
+from repro.analysis.diagnostics import Severity
+from repro.sources.base import PROBE_COST_FRACTION
+
+
+class StubSource:
+    def __init__(self, rows, cost=1.0):
+        self._rows = rows
+        self.metadata = SimpleNamespace(
+            cost_per_access=cost, kind="structured"
+        )
+
+    def size_hint(self):
+        if self._rows is None:
+            raise RuntimeError("no hint published")
+        return self._rows
+
+
+class StubRegistry:
+    def __init__(self, **sources):
+        self._sources = sources
+
+    def names(self):
+        return sorted(self._sources)
+
+    def get(self, name):
+        return self._sources[name]
+
+
+def plan_over(*names, er_attributes=("name",)):
+    return SimpleNamespace(sources=list(names), er_attributes=er_attributes)
+
+
+def certify(plan, registry, **kwargs):
+    return CostCertifier().check(plan=plan, registry=registry, **kwargs)
+
+
+def rules(report, min_severity=Severity.INFO):
+    return {d.rule for d in report.diagnostics(min_severity=min_severity)}
+
+
+class TestEstimatePropagation:
+    def test_synthetic_topology_covers_the_canonical_pipeline(self):
+        report = certify(
+            plan_over("a"), StubRegistry(a=StubSource(100))
+        )
+        names = set(report.estimates)
+        assert {"probe", "plan", "acquire:a", "translate", "resolve",
+                "fuse", "repair"} <= names
+
+    def test_rows_flow_from_acquire_through_translate(self):
+        registry = StubRegistry(a=StubSource(100), b=StubSource(40))
+        report = certify(plan_over("a", "b"), registry)
+        assert report.estimates["acquire:a"].rows == 100.0
+        assert report.estimates["translate"].rows == 140.0
+        assert report.estimates["translate"].confidence == "exact"
+
+    def test_unselected_source_contributes_nothing(self):
+        from repro.core.dataflow import Dataflow
+
+        # A real dataflow can carry acquire nodes for sources the plan
+        # rejected; those cost nothing and emit no rows.
+        flow = Dataflow()
+        flow.add("acquire:b", lambda inputs: None, stage="extraction")
+        registry = StubRegistry(a=StubSource(100), b=StubSource(40))
+        report = certify(plan_over("a"), registry, dataflow=flow)
+        assert report.estimates["acquire:b"].rows == 0.0
+        assert report.estimates["acquire:b"].access_cost == 0.0
+        # And the synthetic walk only materialises planned sources.
+        synthetic = certify(plan_over("a"), registry)
+        assert "acquire:b" not in synthetic.estimates
+        assert synthetic.estimates["translate"].rows == 100.0
+
+    def test_probe_charges_every_registered_source(self):
+        registry = StubRegistry(
+            a=StubSource(10, cost=2.0), b=StubSource(10, cost=3.0)
+        )
+        report = certify(plan_over("a"), registry)
+        assert report.estimates["probe"].access_cost == pytest.approx(
+            5.0 * PROBE_COST_FRACTION
+        )
+
+    def test_unhinted_source_degrades_to_assumed_with_cc001(self):
+        report = certify(plan_over("a"), StubRegistry(a=StubSource(None)))
+        assert report.estimates["acquire:a"].confidence == "assumed"
+        assert report.estimates["translate"].confidence == "assumed"
+        assert "CC001" in rules(report)
+
+    def test_fusion_shrinks_rows_by_the_duplication_factor(self):
+        registry = StubRegistry(a=StubSource(60), b=StubSource(60))
+        report = certify(plan_over("a", "b"), registry)
+        assert report.estimates["fuse"].rows == pytest.approx(60.0)
+
+    def test_real_dataflow_topology_is_reused_not_rederived(self):
+        from repro.core.dataflow import Dataflow
+
+        flow = Dataflow()
+        flow.add("probe", lambda inputs: None, stage="probe")
+        flow.add("plan", lambda inputs: None, ("probe",), stage="planning")
+        report = certify(
+            plan_over("a"), StubRegistry(a=StubSource(10)), dataflow=flow
+        )
+        assert set(report.estimates) == {"probe", "plan"}
+        # And the predicted seconds land back on the dataflow's nodes.
+        costs = flow.cost_map()
+        assert costs["probe"] is not None
+        assert costs["plan"] is not None
+
+    def test_unknown_node_kind_gets_cc009_and_a_passthrough(self):
+        from repro.core.dataflow import Dataflow
+
+        flow = Dataflow()
+        flow.add("mystery", lambda inputs: None)
+        report = certify(
+            plan_over("a"), StubRegistry(a=StubSource(10)), dataflow=flow
+        )
+        assert "CC009" in rules(report)
+        assert report.estimates["mystery"].confidence == "assumed"
+
+
+class TestBlowUpRules:
+    def test_cc002_unblocked_resolve_is_an_error(self):
+        report = certify(
+            plan_over("a"),
+            StubRegistry(a=StubSource(1_000)),
+            resolution=ResolutionProfile(strategy="full_pairs"),
+        )
+        assert "CC002" in rules(report)
+        assert not report.ok
+        (finding,) = [
+            d for d in report.findings if d.rule == "CC002"
+        ]
+        # The diagnostic quantifies the blow-up, not just names it.
+        assert "499500" in finding.message
+        assert finding.severity is Severity.ERROR
+
+    def test_blocked_resolve_of_the_same_table_is_clean(self):
+        report = certify(
+            plan_over("a"), StubRegistry(a=StubSource(1_000))
+        )
+        assert "CC002" not in rules(report)
+        assert report.ok
+
+    def test_cc003_degenerate_blocking_warns(self):
+        report = certify(
+            plan_over("a"),
+            StubRegistry(a=StubSource(400)),
+            resolution=ResolutionProfile(max_block_size=500),
+        )
+        assert "CC003" in rules(report)
+        assert report.ok  # a warning, not admission refusal
+
+    def test_cc004_cross_source_join_warns_at_scale(self):
+        sources = {
+            f"s{i}": StubSource(600) for i in range(4)
+        }
+        report = certify(plan_over(*sources), StubRegistry(**sources))
+        assert "CC004" in rules(report)
+        assert "CC002" not in rules(report)
+
+    def test_few_small_sources_pool_without_complaint(self):
+        sources = {f"s{i}": StubSource(50) for i in range(3)}
+        report = certify(plan_over(*sources), StubRegistry(**sources))
+        assert "CC004" not in rules(report)
+
+    def test_cc008_constraint_discovery_dominating_repair(self):
+        report = certify(
+            plan_over("a"),
+            StubRegistry(a=StubSource(20_000)),
+            discover_constraints=True,
+        )
+        assert "CC008" in rules(report)
+        without = certify(
+            plan_over("a"),
+            StubRegistry(a=StubSource(20_000)),
+            discover_constraints=False,
+        )
+        assert "CC008" not in rules(without)
+
+
+class TestBudgetAdmission:
+    def test_cc005_over_budget_is_an_error(self):
+        report = certify(
+            plan_over("a"),
+            StubRegistry(a=StubSource(100, cost=3.0)),
+            budget=1.0,
+        )
+        assert "CC005" in rules(report)
+        assert report.over_budget
+        assert not report.ok
+
+    def test_within_budget_is_admitted(self):
+        report = certify(
+            plan_over("a"),
+            StubRegistry(a=StubSource(100, cost=1.0)),
+            budget=50.0,
+        )
+        assert "CC005" not in rules(report)
+        assert not report.over_budget
+        assert report.ok
+
+    def test_cc007_probe_overhead_dominating_the_budget(self):
+        # Ten registered sources, one selected: the probe pass alone
+        # consumes over half the declared budget.
+        sources = {f"s{i}": StubSource(10, cost=1.0) for i in range(10)}
+        probe_cost = 10.0 * PROBE_COST_FRACTION
+        budget = probe_cost / 0.5  # probe is exactly half of this
+        report = certify(plan_over("s0"), StubRegistry(**sources),
+                         budget=budget)
+        assert "CC007" in rules(report)
+        assert "CC005" not in rules(report)
+
+    def test_cc006_unbounded_budget_is_an_advisory(self):
+        user = SimpleNamespace(budget=float("inf"), target_schema=None)
+        report = certify(
+            plan_over("a"), StubRegistry(a=StubSource(10)), user=user
+        )
+        assert "CC006" in rules(report)
+        # INFO severity: invisible at the gate's warning floor.
+        assert "CC006" not in rules(report, min_severity=Severity.WARNING)
+
+    def test_finite_user_budget_suppresses_cc006(self):
+        user = SimpleNamespace(budget=25.0, target_schema=None)
+        report = certify(
+            plan_over("a"), StubRegistry(a=StubSource(10)), user=user
+        )
+        assert "CC006" not in rules(report)
+
+
+class TestReportShape:
+    def test_totals_sum_the_per_node_estimates(self):
+        report = certify(plan_over("a"), StubRegistry(a=StubSource(100)))
+        assert report.total_access_cost == pytest.approx(
+            sum(e.access_cost for e in report.estimates.values())
+        )
+        assert report.total_work == pytest.approx(
+            sum(e.work for e in report.estimates.values())
+        )
+        assert report.predicted_seconds > 0.0
+
+    def test_to_dict_is_the_snapshot_contract(self):
+        report = certify(
+            plan_over("a"), StubRegistry(a=StubSource(100)), budget=30.0
+        )
+        payload = report.to_dict()
+        assert set(payload) == {
+            "nodes", "totals", "budget", "over_budget"
+        }
+        assert payload["budget"] == 30.0
+        assert list(payload["nodes"]) == sorted(payload["nodes"])
+
+    def test_check_plan_cost_wrapper_matches_the_class(self):
+        registry = StubRegistry(a=StubSource(100))
+        direct = certify(plan_over("a"), registry)
+        wrapped = check_plan_cost(plan=plan_over("a"), registry=registry)
+        assert wrapped.to_dict() == direct.to_dict()
+
+    def test_findings_are_stably_ordered(self):
+        registry = StubRegistry(a=StubSource(None), b=StubSource(None))
+        first = certify(plan_over("a", "b"), registry)
+        second = certify(plan_over("a", "b"), registry)
+        assert first.findings == second.findings

@@ -479,3 +479,57 @@ class TestSelfHosting:
         assert errors == []
         assert result.ok
         assert result.exit_code == 0
+
+
+class TestRep015BenchTelemetryRequired:
+    BENCH_PATH = "benchmarks/bench_sample.py"
+
+    def test_no_telemetry_fires(self):
+        assert_fires_then_suppresses(
+            "from helpers import emit\nemit('E0-sample', 'table')\n",
+            "REP015",
+            "from helpers import emit  # repro: noqa[REP015]\n"
+            "emit('E0-sample', 'table')\n",
+            path=self.BENCH_PATH,
+        )
+
+    def test_raw_print_fires(self):
+        result = lint_source(
+            "from helpers import emit_telemetry, bench_telemetry\n"
+            "t = bench_telemetry()\n"
+            "print('done')\n"
+            "emit_telemetry('E0-sample', t.snapshot())\n",
+            path=self.BENCH_PATH,
+        )
+        assert "REP015" in rule_ids(result)
+
+    def test_telemetry_benchmark_clean(self):
+        result = lint_source(
+            "from helpers import emit, emit_telemetry, timed,"
+            " bench_telemetry\n"
+            "t = bench_telemetry()\n"
+            "value, seconds = timed(t, 'work', lambda: 1)\n"
+            "emit('E0-sample', 'table')\n"
+            "emit_telemetry('E0-sample', t.snapshot())\n",
+            path=self.BENCH_PATH,
+        )
+        assert "REP015" not in rule_ids(result)
+
+    def test_helpers_qualified_calls_clean(self):
+        result = lint_source(
+            "import helpers\n"
+            "t = helpers.bench_telemetry()\n"
+            "helpers.emit_telemetry('E0-sample', t.snapshot())\n",
+            path=self.BENCH_PATH,
+        )
+        assert "REP015" not in rule_ids(result)
+
+    def test_non_benchmark_paths_exempt(self):
+        source = "print('hello')\n"
+        for path in (
+            "src/repro/core/wrangler.py",
+            "benchmarks/helpers.py",  # not a bench_ script
+            "examples/quickstart.py",
+        ):
+            result = lint_source(source, path=path)
+            assert "REP015" not in rule_ids(result), path

@@ -161,3 +161,78 @@ class TestSortedNeighbourhoodEdges:
             sorted_neighbourhood(table, "name", window=1)
         with pytest.raises(ResolutionError):
             sorted_neighbourhood(table, "name", window=0)
+
+
+class _CountingPattern:
+    """A regex stand-in that counts ``findall`` invocations."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def findall(self, text):
+        self.calls += 1
+        return self.inner.findall(text)
+
+
+class TestTokenisationMemoised:
+    def test_tokenisation_runs_once_per_record_per_pass(self, monkeypatch):
+        """Token sets are memoised per value, not recomputed per pair.
+
+        A full-pairs resolve over n records evaluates O(n^2) candidate
+        pairs; without the similarity-module memo caches every pair
+        re-tokenised both sides, so tokenisation ran O(n^2) times per
+        pass.  This pins the fixed contract: at most once per distinct
+        value per cache (token_set + Monge-Elkan name tokens) while the
+        pair count stays quadratic.
+        """
+        from repro.matching import similarity
+
+        counting = _CountingPattern(similarity._TOKEN_RE)
+        monkeypatch.setattr(similarity, "_TOKEN_RE", counting)
+        monkeypatch.setattr(similarity, "_token_set_cache", {})
+        monkeypatch.setattr(similarity, "_name_token_cache", {})
+        rows = [
+            {"name": f"Acme Widget Model {i:03d}", "price": float(i)}
+            for i in range(28)
+        ]
+        table = Table.from_rows("offers", rows)
+        comparator = RecordComparator((
+            FieldComparator("name", measure="jaccard"),
+            FieldComparator("name", measure="tokens"),
+        ))
+        resolver = EntityResolver(
+            comparator=comparator, rule=ThresholdRule(0.9)
+        )
+        result = resolver.resolve(table)
+        n_pairs = len(full_pairs(table))
+        assert result.compared == n_pairs
+        assert n_pairs > len(rows)  # quadratic pairs, linear tokenisation
+        assert counting.calls <= 2 * len(rows), (
+            f"tokenised {counting.calls} times for {len(rows)} records"
+        )
+
+    def test_memoised_results_identical(self, monkeypatch):
+        """Memoisation never changes a score, only the call count."""
+        from repro.matching import similarity
+
+        monkeypatch.setattr(similarity, "_token_set_cache", {})
+        monkeypatch.setattr(similarity, "_name_token_cache", {})
+        pairs = [
+            ("Acme Laptop Pro 15", "Acme Lptop Pro 15"),
+            ("The Acme Co", "Acme"),
+            ("", "Globex Camera Z"),
+        ]
+        for a, b in pairs:
+            cold_tokens = similarity.token_set(a)
+            cold_score = similarity.monge_elkan(a, b)
+            assert similarity.token_set(a) == cold_tokens  # cache hit
+            assert similarity.monge_elkan(a, b) == cold_score
+
+    def test_cache_stays_bounded(self, monkeypatch):
+        from repro.matching import similarity
+
+        monkeypatch.setattr(similarity, "_token_set_cache", {})
+        for i in range(similarity._CACHE_LIMIT + 100):
+            similarity.token_set(f"value {i}")
+        assert len(similarity._token_set_cache) <= similarity._CACHE_LIMIT

@@ -43,14 +43,16 @@ cost-check:
 # regression (losing blocking, an accidental n² stage) is a multi-x
 # blow-up that 50% still catches.  The strict 15% contract is pinned
 # machine-independently by tests/analysis/test_cost_ratchet.py over
-# the committed fixture pair.  REP015 keeps every benchmark on the
-# shared telemetry helpers the ratchet and calibration feed from.
+# the committed fixture pair.  --check-baselines fails the gate on any
+# committed baseline no bench_*.py can regenerate.  REP015 keeps every
+# benchmark on the shared telemetry helpers the ratchet and
+# calibration feed from.
 bench-gate:
 	rm -rf benchmarks/.ratchet
 	mkdir -p benchmarks/.ratchet
 	cp benchmarks/results/BENCH_*.json benchmarks/.ratchet/
-	$(PYTHON) -m pytest benchmarks/bench_parallel.py -q -p no:cacheprovider
-	$(PYTHON) -m repro.analysis.cost --ratchet --baseline benchmarks/.ratchet --fresh benchmarks/results --tolerance 0.5
+	$(PYTHON) -m pytest benchmarks/bench_parallel.py benchmarks/bench_er_scale.py -q -p no:cacheprovider
+	$(PYTHON) -m repro.analysis.cost --ratchet --baseline benchmarks/.ratchet --fresh benchmarks/results --tolerance 0.5 --check-baselines benchmarks
 	$(PYTHON) -m repro.analysis.lint benchmarks --select REP015
 
 # One small benchmark end to end, then schema-check the telemetry it

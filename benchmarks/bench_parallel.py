@@ -53,6 +53,12 @@ def make_resolver(table: Table) -> EntityResolver:
         comparator=comparator,
         rule=ThresholdRule(0.95),
         small_table_cutoff=10**9,
+        # This baseline measures executor fan-out of the *scalar*
+        # compare/decide loop; with the prune kernels on there is almost
+        # no scalar work left to parallelise and the speedup numbers
+        # would measure chunking overhead instead.  Kernel scaling has
+        # its own ratcheted baseline in bench_er_scale.py.
+        use_kernels=False,
     )
 
 

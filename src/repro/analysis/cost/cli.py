@@ -46,7 +46,11 @@ from repro.analysis.diagnostics import (
 )
 from repro.analysis.cost.calibration import calibrate
 from repro.analysis.cost.certifier import CostCertifier, PlanCostReport
-from repro.analysis.cost.ratchet import DEFAULT_TOLERANCE, run_ratchet
+from repro.analysis.cost.ratchet import (
+    DEFAULT_TOLERANCE,
+    orphan_baselines,
+    run_ratchet,
+)
 from repro.analysis.cost.rules import COST_RULES
 from repro.analysis.report import render
 from repro.errors import AnalysisError
@@ -323,6 +327,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--check-baselines", metavar="BENCHMARKS_DIR", default=None,
+        help=(
+            "with --ratchet: additionally fail if any baseline under "
+            "--baseline has no generating benchmark (its experiment "
+            "name appears in no bench_*.py under BENCHMARKS_DIR)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the CC rule catalogue and exit",
     )
@@ -336,16 +348,31 @@ def main(argv: Sequence[str] | None = None) -> int:
             report = run_ratchet(
                 args.fresh, args.baseline, tolerance=args.tolerance
             )
+            orphans = (
+                orphan_baselines(args.baseline, args.check_baselines)
+                if args.check_baselines is not None
+                else []
+            )
         except AnalysisError as failure:
             sys.stderr.write(f"error: {failure}\n")
             return 2
         if args.format == "json":
+            payload = report.to_dict()
+            if args.check_baselines is not None:
+                payload["orphan_baselines"] = orphans
+                payload["ok"] = report.ok and not orphans
             sys.stdout.write(
-                json.dumps(report.to_dict(), indent=2, sort_keys=True)
-                + "\n"
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
             )
         else:
             sys.stdout.write(report.render() + "\n")
+            for orphan in orphans:
+                sys.stdout.write(
+                    f"orphan baseline: {orphan} has no generating "
+                    f"benchmark under {args.check_baselines}\n"
+                )
+        if orphans:
+            return 1
         return report.exit_code
 
     if args.calibrate:

@@ -218,13 +218,15 @@ class ResolutionProfile:
     full-pairs path below ``small_table_cutoff`` rows, token blocking
     (blocks capped at ``max_block_size``) above it.  ``strategy`` may be
     ``"token"``, ``"sorted_neighbourhood"`` (then ``window`` applies),
-    or ``"full_pairs"`` for an explicit unblocked resolver.
+    ``"minhash_lsh"`` (then ``bands`` applies), or ``"full_pairs"`` for
+    an explicit unblocked resolver.
     """
 
     strategy: str = "token"
     small_table_cutoff: int = 30
     max_block_size: int = 50
     window: int = 10
+    bands: int = 16
 
 
 def estimated_pairs(
@@ -235,6 +237,10 @@ def estimated_pairs(
     Upper bounds, not expectations: token blocking can emit at most
     ``rows x (max_block_size - 1) / 2`` pairs (every row in a full
     block), a sorted neighbourhood at most ``rows x (window - 1)``.
+    MinHash-LSH has no hard structural cap — a degenerate band bucket can
+    reach full pairs — so its estimate is the well-behaved expectation:
+    each record collides in at most its ``bands`` band buckets with a
+    handful of genuine near-duplicates, ~``rows x bands`` pairs overall.
     """
     full = rows * max(rows - 1.0, 0.0) / 2.0
     if profile.strategy == "full_pairs" or rows <= profile.small_table_cutoff:
@@ -243,6 +249,8 @@ def estimated_pairs(
         if profile.window >= rows:
             return full, True
         return min(full, rows * max(profile.window - 1.0, 1.0)), False
+    if profile.strategy == "minhash_lsh":
+        return min(full, rows * max(profile.bands, 1.0)), False
     if profile.max_block_size >= rows:
         return full, True
     return min(full, rows * (profile.max_block_size - 1.0) / 2.0), False
@@ -455,8 +463,8 @@ def _resolve_check(
                 f"unblocked resolve over ~{rows:.0f} rows compares "
                 f"~{pairs:.0f} candidate pairs (n^2/2 blow-up, "
                 f"~{seconds:.0f}s at the calibrated unit cost)",
-                "enable blocking (token or sorted-neighbourhood) or "
-                "partition the table before resolving",
+                "enable blocking (token, sorted-neighbourhood, or "
+                "minhash_lsh) or partition the table before resolving",
             )
         )
     degenerate = (

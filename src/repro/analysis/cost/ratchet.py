@@ -26,7 +26,12 @@ from typing import Any, Mapping
 
 from repro.errors import AnalysisError
 
-__all__ = ["RatchetEntry", "RatchetReport", "run_ratchet"]
+__all__ = [
+    "RatchetEntry",
+    "RatchetReport",
+    "orphan_baselines",
+    "run_ratchet",
+]
 
 #: Allowed relative regression before a metric fails the gate.
 DEFAULT_TOLERANCE = 0.15
@@ -214,3 +219,35 @@ def run_ratchet(
         baseline_dir=str(baseline_dir),
         fresh_dir=str(fresh_dir),
     )
+
+
+def orphan_baselines(
+    baseline_dir: str | Path, benchmarks_dir: str | Path
+) -> list[str]:
+    """Committed ``BENCH_*.json`` baselines no benchmark can regenerate.
+
+    A baseline whose experiment name appears in no ``bench_*.py`` source
+    under ``benchmarks_dir`` is a dead weight the ratchet would keep
+    enforcing forever: the gate copies it aside, re-runs the suite, and
+    then fails on the guaranteed-missing fresh counterpart — or worse,
+    silently compares against a stale record nobody can refresh.  The
+    check is textual (the experiment name string must occur in some
+    benchmark source), which is exactly the contract the benchmark
+    helpers enforce when emitting: every ``BENCH_<name>.json`` is
+    written under its literal experiment name.
+    """
+    baseline_path = Path(baseline_dir)
+    benchmarks_path = Path(benchmarks_dir)
+    if not benchmarks_path.is_dir():
+        raise AnalysisError(
+            f"no such benchmarks directory: {benchmarks_dir}"
+        )
+    sources = "\n".join(
+        path.read_text(encoding="utf-8")
+        for path in sorted(benchmarks_path.glob("bench_*.py"))
+    )
+    return [
+        baseline.name
+        for baseline in _baseline_files(baseline_path)
+        if baseline.stem not in sources
+    ]

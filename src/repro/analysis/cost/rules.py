@@ -60,8 +60,10 @@ COST_RULES: Mapping[str, CostRule] = _catalogue(
         "Entity resolution is on the full-pairs path (no blocking caps "
         "the candidate set) at a scale where the estimated pair count "
         "exceeds the quadratic limit: cost grows as n^2/2 and the stage "
-        "will dominate the run (the ROADMAP wall: 2.85s @ 200 rows -> "
-        "43.5s @ 800).",
+        "will dominate the run even with the vectorised prune kernels "
+        "engaged (pruning cuts the per-pair constant, not the n^2 pair "
+        "generation).  Token, sorted-neighbourhood, or MinHash-LSH "
+        "blocking caps the candidate set to ~linear in rows.",
     ),
     CostRule(
         "CC003",
@@ -71,7 +73,10 @@ COST_RULES: Mapping[str, CostRule] = _catalogue(
         "a small-table cutoff at or above the estimated table size, a "
         "sorted-neighbourhood window spanning the table, or a token "
         "block size bound that no block can exceed — blocking is "
-        "configured but degenerates to (near-)full pairs.",
+        "configured but degenerates to (near-)full pairs.  (MinHash-LSH "
+        "has no structural cap to degenerate; its runtime counterpart is "
+        "the blocking.dropped_* telemetry counters on oversized "
+        "buckets.)",
     ),
     CostRule(
         "CC004",

@@ -496,7 +496,11 @@ class Wrangler:
                 # down to the lowest confirmed pair.
                 ceiling = max(0.5, min(similarities) - 0.01)
                 rule = ThresholdRule(min(plan.er_threshold, ceiling))
-        resolver = EntityResolver(comparator=comparator, rule=rule)
+        resolver = EntityResolver(
+            comparator=comparator,
+            rule=rule,
+            metrics=self.telemetry.metrics,
+        )
         result = resolver.resolve(translated, executor=self._run_executor)
         self.working.put("entity", "clusters", result)
         return result

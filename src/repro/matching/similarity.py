@@ -50,6 +50,31 @@ def _cache_put(cache: dict, key: str, value) -> None:
     cache[key] = value
 
 
+#: Memoised document frequencies keyed by corpus identity.  A matching
+#: pass calls :func:`tfidf_cosine` once per candidate pair against the
+#: *same* corpus object, and recomputing the document-frequency Counter
+#: is O(corpus) per call — quadratic overall.  Each entry keeps a strong
+#: reference to the corpus itself so a recycled ``id()`` can never alias
+#: a dead corpus to a live one's table; the bound is small because a
+#: pass compares against a handful of corpora, not thousands.
+_IDF_CACHE_LIMIT = 8
+_idf_cache: dict[int, tuple[object, Counter]] = {}
+
+
+def _doc_frequencies(corpus: Sequence[Sequence[str]]) -> Counter:
+    """Document frequency of every token in ``corpus`` (memoised)."""
+    entry = _idf_cache.get(id(corpus))
+    if entry is not None and entry[0] is corpus:
+        return entry[1]
+    doc_freq: Counter[str] = Counter()
+    for doc in corpus:
+        doc_freq.update(set(doc))
+    if len(_idf_cache) >= _IDF_CACHE_LIMIT:
+        _idf_cache.pop(next(iter(_idf_cache)))
+    _idf_cache[id(corpus)] = (corpus, doc_freq)
+    return doc_freq
+
+
 def token_set(text: str) -> frozenset[str]:
     """Lower-cased alphanumeric tokens of ``text`` (memoised)."""
     cached = _token_set_cache.get(text)
@@ -187,16 +212,16 @@ def tfidf_cosine(
     ``corpus`` is the collection of token sequences the IDF is computed
     over (typically all values of the two columns being compared); rare
     tokens dominate, so shared brand/model tokens count more than shared
-    stop words.
+    stop words.  The IDF table is memoised per corpus *identity* — pass
+    the same corpus object for a whole matching pass (and a fresh object
+    after mutating it) to get one O(corpus) scan instead of one per pair.
     """
     if not doc_a and not doc_b:
         return 1.0
     if not doc_a or not doc_b:
         return 0.0
     n_docs = max(len(corpus), 1)
-    doc_freq: Counter[str] = Counter()
-    for doc in corpus:
-        doc_freq.update(set(doc))
+    doc_freq = _doc_frequencies(corpus)
 
     def vectorise(doc: Sequence[str]) -> dict[str, float]:
         counts = Counter(doc)

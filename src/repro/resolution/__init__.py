@@ -1,7 +1,10 @@
 """Entity resolution: blocking, comparison, learned match rules, clustering."""
 
 from repro.resolution.blocking import (
+    as_pair_set,
     full_pairs,
+    minhash_lsh,
+    pair_array,
     recall_of,
     sorted_neighbourhood,
     token_blocking,
@@ -19,6 +22,7 @@ from repro.resolution.er import (
     ResolutionResult,
     stable_cluster_id,
 )
+from repro.resolution.kernels import CompiledComparator, compile_comparator
 from repro.resolution.rules import (
     LearnedRule,
     MatchDecision,
@@ -27,6 +31,7 @@ from repro.resolution.rules import (
 )
 
 __all__ = [
+    "CompiledComparator",
     "EntityCluster",
     "EntityResolver",
     "FieldComparator",
@@ -35,11 +40,15 @@ __all__ = [
     "RecordComparator",
     "ResolutionResult",
     "ThresholdRule",
+    "as_pair_set",
+    "compile_comparator",
     "default_comparator",
     "profiled_comparator",
     "fit_threshold",
     "full_pairs",
     "geo_similarity",
+    "minhash_lsh",
+    "pair_array",
     "recall_of",
     "sorted_neighbourhood",
     "stable_cluster_id",

@@ -1,28 +1,118 @@
 """Blocking: cheap candidate-pair generation for entity resolution.
 
 Comparing all record pairs is quadratic; blocking keeps ER tractable at
-big-data Volume.  Two classic strategies are provided — token blocking and
-sorted neighbourhood — both returning candidate index pairs for the
-comparator.  Crowd feedback can refine blocking too (Gokhale et al. [20]);
-the ER pipeline re-blocks with tightened parameters when feedback shows
-recall problems.
+big-data Volume.  Three classic strategies are provided — token blocking,
+sorted neighbourhood, and MinHash-LSH — all returning **sorted candidate
+index arrays** for the comparator: a ``(n, 2)`` ``numpy`` array with
+``pairs[:, 0] < pairs[:, 1]``, rows unique and lexicographically sorted.
+The array form replaces the old ``set[tuple[int, int]]`` representation:
+at a million candidate pairs a Python pair-set costs hundreds of bytes
+per pair in tuple/set overhead, while the array costs 16 — and the
+vectorised comparison kernels (:mod:`repro.resolution.kernels`) score it
+without ever materialising per-pair objects.  Crowd feedback can refine
+blocking too (Gokhale et al. [20]); the ER pipeline re-blocks with
+tightened parameters when feedback shows recall problems.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import hashlib
+import random
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
 
 from repro.errors import ResolutionError
 from repro.matching.similarity import token_set
 from repro.model.records import Table
 
-__all__ = ["token_blocking", "sorted_neighbourhood", "full_pairs", "recall_of"]
+if TYPE_CHECKING:  # typing only: blocking never requires a live registry
+    from repro.obs import MetricsRegistry
+
+__all__ = [
+    "as_pair_set",
+    "full_pairs",
+    "minhash_lsh",
+    "pair_array",
+    "recall_of",
+    "sorted_neighbourhood",
+    "token_blocking",
+]
+
+#: The empty candidate set, shaped so callers can index unconditionally.
+_EMPTY_PAIRS = np.empty((0, 2), dtype=np.intp)
 
 
-def full_pairs(table: Table) -> set[tuple[int, int]]:
+def pair_array(pairs: object) -> np.ndarray:
+    """Normalise candidate pairs to the canonical sorted array form.
+
+    Accepts an ``(n, 2)`` array, any iterable of index pairs, or a legacy
+    ``set[tuple[int, int]]`` (custom blockers predating the array form).
+    Rows come back oriented ``(low, high)``, deduplicated, and
+    lexicographically sorted — the canonical order the resolver's chunked
+    fan-out and the kernels both rely on.  Self-pairs ``(i, i)`` are
+    dropped: a record is trivially its own entity, never a candidate.
+    """
+    if isinstance(pairs, np.ndarray):
+        array = pairs
+    else:
+        array = np.asarray(sorted(pairs) if isinstance(pairs, (set, frozenset))
+                           else list(pairs), dtype=np.intp)
+    if array.size == 0:
+        return _EMPTY_PAIRS
+    array = array.reshape(-1, 2).astype(np.intp, copy=False)
+    low = np.minimum(array[:, 0], array[:, 1])
+    high = np.maximum(array[:, 0], array[:, 1])
+    oriented = np.column_stack((low, high))
+    oriented = oriented[low != high]
+    if oriented.shape[0] == 0:
+        return _EMPTY_PAIRS
+    return np.unique(oriented, axis=0)
+
+
+def as_pair_set(pairs: object) -> set[tuple[int, int]]:
+    """The ``set[tuple[int, int]]`` view of a candidate-pair array.
+
+    The interop shim for callers that still want set algebra (recall
+    evaluation, tests); the hot path never expands the array.
+    """
+    if isinstance(pairs, np.ndarray):
+        return {(int(i), int(j)) for i, j in pairs}
+    return {(int(i), int(j)) for i, j in pairs}
+
+
+def full_pairs(table: Table) -> np.ndarray:
     """All index pairs — the quadratic baseline blocking."""
     n = len(table)
-    return {(i, j) for i in range(n) for j in range(i + 1, n)}
+    if n < 2:
+        return _EMPTY_PAIRS
+    left, right = np.triu_indices(n, k=1)
+    return np.column_stack((left, right)).astype(np.intp, copy=False)
+
+
+def _pairs_within(members: np.ndarray) -> np.ndarray:
+    """All index pairs inside one block (members need not be sorted)."""
+    m = members.shape[0]
+    if m < 2:
+        return _EMPTY_PAIRS
+    i, j = np.triu_indices(m, k=1)
+    return np.column_stack((members[i], members[j]))
+
+
+def _emit_dropped(
+    metrics: "MetricsRegistry | None", blocks: int, members: int
+) -> None:
+    """Record silently-discarded candidates where telemetry can see them.
+
+    CC003's static "degenerate blocking" finding has a runtime
+    counterpart here: a block dropped for being oversized is recall
+    traded away, and a run that sheds thousands of members should say so
+    in its snapshot rather than quietly return fewer duplicates.
+    """
+    if metrics is None or blocks == 0:
+        return
+    metrics.counter("blocking.dropped_blocks").increment(blocks)
+    metrics.counter("blocking.dropped_members").increment(members)
 
 
 def token_blocking(
@@ -30,12 +120,15 @@ def token_blocking(
     attributes: Sequence[str],
     min_token_length: int = 3,
     max_block_size: int = 50,
-) -> set[tuple[int, int]]:
+    metrics: "MetricsRegistry | None" = None,
+) -> np.ndarray:
     """Candidate pairs sharing at least one token in a blocking attribute.
 
     Tokens shorter than ``min_token_length`` are ignored (too common);
     blocks larger than ``max_block_size`` are dropped entirely — an
     oversized block means the token is a stop word for this dataset.
+    Dropped blocks are counted on ``metrics`` (``blocking.dropped_blocks``
+    / ``blocking.dropped_members``) so the recall loss is observable.
     """
     blocks: dict[str, list[int]] = {}
     for index, record in enumerate(table.records):
@@ -52,19 +145,24 @@ def token_blocking(
         for token in tokens:
             blocks.setdefault(token, []).append(index)
 
-    pairs: set[tuple[int, int]] = set()
+    chunks: list[np.ndarray] = []
+    dropped_blocks = 0
+    dropped_members = 0
     for members in blocks.values():
         if len(members) > max_block_size:
+            dropped_blocks += 1
+            dropped_members += len(members)
             continue
-        for position, left in enumerate(members):
-            for right in members[position + 1:]:
-                pairs.add((left, right) if left < right else (right, left))
-    return pairs
+        chunks.append(_pairs_within(np.asarray(members, dtype=np.intp)))
+    _emit_dropped(metrics, dropped_blocks, dropped_members)
+    if not chunks:
+        return _EMPTY_PAIRS
+    return pair_array(np.concatenate(chunks))
 
 
 def sorted_neighbourhood(
     table: Table, attribute: str, window: int = 5
-) -> set[tuple[int, int]]:
+) -> np.ndarray:
     """Candidate pairs within a sliding window over the sorted key attribute.
 
     The candidate set is exactly the pairs at sorted-rank distance below
@@ -81,6 +179,14 @@ def sorted_neighbourhood(
     order (they still meet their window neighbours, so a missing key
     does not exempt a record from ER).
 
+    Sort keys are computed **once per record** (decorate-sort-undecorate)
+    rather than inside the comparison callback: Python's sort invokes the
+    key function once per element either way, but the old lambda paid a
+    ``records[index]`` load, a cell lookup, *and* a raw extraction per
+    call on the hot path — precomputing keeps the sort touching plain
+    tuples only, with identical ordering (timsort is stable over the same
+    keys).
+
     ``window < 2`` is refused: a window that cannot hold two records
     generates no candidates at all, which is a configuration defect, not
     a blocking strategy.
@@ -90,28 +196,171 @@ def sorted_neighbourhood(
             f"sorted_neighbourhood window must be at least 2, got {window}: "
             "a smaller window generates no candidate pairs"
         )
-    keyed = sorted(
-        range(len(table)),
-        key=lambda index: (
-            table.records[index].get(attribute).is_missing,
-            str(table.records[index].raw(attribute) or "").lower(),
-        ),
+    keys = [
+        (
+            record.get(attribute).is_missing,
+            str(record.raw(attribute) or "").lower(),
+        )
+        for record in table.records
+    ]
+    keyed = np.asarray(
+        sorted(range(len(table)), key=keys.__getitem__), dtype=np.intp
     )
-    pairs: set[tuple[int, int]] = set()
-    for position, left in enumerate(keyed):
-        for offset in range(1, window):
-            if position + offset >= len(keyed):
-                break
-            right = keyed[position + offset]
-            pairs.add((left, right) if left < right else (right, left))
-    return pairs
+    if keyed.shape[0] < 2:
+        return _EMPTY_PAIRS
+    chunks = [
+        np.column_stack((keyed[:-offset], keyed[offset:]))
+        for offset in range(1, min(window, keyed.shape[0]))
+    ]
+    return pair_array(np.concatenate(chunks))
+
+
+#: Modulus for the affine MinHash permutations: arithmetic is done in
+#: uint64 with natural wrap-around (multiply-shift universal hashing),
+#: so any odd multiplier mixes all 64 bits.
+_UINT64 = np.uint64
+
+
+def _token_ids(
+    table: Table,
+    attributes: Sequence[str],
+    min_token_length: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-record token hashes as (flat ids, CSR-style indptr).
+
+    Tokens are drawn exactly as in :func:`token_blocking` and hashed to
+    stable 64-bit ids with blake2b — deterministic across processes and
+    platforms, unlike the salted builtin ``hash``.
+    """
+    flat: list[int] = []
+    indptr = np.zeros(len(table) + 1, dtype=np.intp)
+    for index, record in enumerate(table.records):
+        tokens: set[str] = set()
+        for attribute in attributes:
+            value = record.get(attribute)
+            if value.is_missing:
+                continue
+            tokens |= {
+                token
+                for token in token_set(str(value.raw))
+                if len(token) >= min_token_length
+            }
+        for token in sorted(tokens):
+            digest = hashlib.blake2b(
+                token.encode("utf-8"), digest_size=8
+            ).digest()
+            flat.append(int.from_bytes(digest, "big"))
+        indptr[index + 1] = len(flat)
+    return np.asarray(flat, dtype=_UINT64), indptr
+
+
+def minhash_lsh(
+    table: Table,
+    attributes: Sequence[str],
+    num_perm: int = 64,
+    bands: int = 16,
+    seed: int = 2016,
+    min_token_length: int = 3,
+    max_bucket_size: int | None = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> np.ndarray:
+    """Candidate pairs whose token sets likely exceed Jaccard similarity.
+
+    Classic MinHash-LSH: each record's blocking tokens are hashed through
+    ``num_perm`` seeded affine permutations; the signature is split into
+    ``bands`` bands of ``num_perm // bands`` rows, and two records become
+    candidates when *any* band collides exactly.  With ``r`` rows per
+    band the collision probability of a pair at Jaccard similarity ``s``
+    is ``1 - (1 - s^r)^bands`` — the familiar S-curve, steep around
+    ``(1/bands)^(1/r)``.  The defaults (64 permutations, 16 bands of 4)
+    centre the curve near ``s ≈ 0.5``: real duplicates (token overlap
+    well above a half) are near-certain candidates while unrelated
+    records almost never collide — and candidate count stays ~linear in
+    rows where :func:`full_pairs` is quadratic.
+
+    Determinism: permutations derive from ``seed`` alone (via
+    ``random.Random``), token ids from blake2b — the output array is
+    byte-identical across runs, processes, and platforms for the same
+    inputs.  Records with *no* blocking tokens generate no candidates
+    (there is no evidence to bucket them on); pass a larger attribute
+    list rather than relying on empty signatures colliding.
+
+    ``max_bucket_size`` optionally drops oversized buckets (a degenerate
+    band — e.g. every record sharing one boilerplate token) with the
+    same ``blocking.dropped_*`` accounting as :func:`token_blocking`.
+    """
+    if num_perm < 1:
+        raise ResolutionError(f"num_perm must be positive, got {num_perm}")
+    if bands < 1 or bands > num_perm:
+        raise ResolutionError(
+            f"bands must be in [1, num_perm], got {bands} of {num_perm}"
+        )
+    if num_perm % bands:
+        raise ResolutionError(
+            f"bands ({bands}) must divide num_perm ({num_perm}) so every "
+            "band gets the same number of signature rows"
+        )
+    flat, indptr = _token_ids(table, attributes, min_token_length)
+    counts = np.diff(indptr)
+    populated = np.flatnonzero(counts > 0)
+    if populated.shape[0] < 2:
+        return _EMPTY_PAIRS
+
+    rng = random.Random(seed)
+    # Odd multipliers + arbitrary offsets: multiply-shift hashing over
+    # the full uint64 ring, drawn deterministically from the seed.
+    a = np.asarray(
+        [rng.randrange(1, 2**64, 2) for __ in range(num_perm)], dtype=_UINT64
+    )
+    b = np.asarray(
+        [rng.randrange(0, 2**64) for __ in range(num_perm)], dtype=_UINT64
+    )
+    # hashed[t, p] = a[p] * token[t] + b[p]  (mod 2^64, wrap-around).
+    with np.errstate(over="ignore"):
+        hashed = flat[:, None] * a[None, :] + b[None, :]
+    # Per-record minimum over each record's token slice.  reduceat needs
+    # non-empty slices, so reduce only the populated rows.
+    starts = indptr[populated]
+    signatures = np.minimum.reduceat(hashed, starts, axis=0)
+    # reduceat reduces from each start to the next start — the final
+    # slice runs to the end of `hashed`, which is exactly the last
+    # populated record's token span because empty records contribute no
+    # tokens after it.
+
+    rows_per_band = num_perm // bands
+    chunks: list[np.ndarray] = []
+    dropped_blocks = 0
+    dropped_members = 0
+    for band in range(bands):
+        view = signatures[:, band * rows_per_band:(band + 1) * rows_per_band]
+        __, inverse, bucket_sizes = np.unique(
+            view, axis=0, return_inverse=True, return_counts=True
+        )
+        order = np.argsort(inverse, kind="stable")
+        boundaries = np.cumsum(bucket_sizes)[:-1]
+        for members in np.split(populated[order], boundaries):
+            if members.shape[0] < 2:
+                continue
+            if (
+                max_bucket_size is not None
+                and members.shape[0] > max_bucket_size
+            ):
+                dropped_blocks += 1
+                dropped_members += members.shape[0]
+                continue
+            chunks.append(_pairs_within(members))
+    _emit_dropped(metrics, dropped_blocks, dropped_members)
+    if not chunks:
+        return _EMPTY_PAIRS
+    return pair_array(np.concatenate(chunks))
 
 
 def recall_of(
-    pairs: Iterable[tuple[int, int]], true_pairs: Iterable[tuple[int, int]]
+    pairs: Iterable[tuple[int, int]] | np.ndarray,
+    true_pairs: Iterable[tuple[int, int]] | np.ndarray,
 ) -> float:
     """Fraction of true matching pairs surviving blocking (for evaluation)."""
-    true_set = set(true_pairs)
+    true_set = as_pair_set(true_pairs)
     if not true_set:
         return 1.0
-    return len(true_set & set(pairs)) / len(true_set)
+    return len(true_set & as_pair_set(pairs)) / len(true_set)

@@ -8,6 +8,7 @@ from typing import Callable, Sequence
 
 from repro.errors import ResolutionError
 from repro.matching.similarity import (
+    dice,
     jaccard,
     jaro_winkler,
     levenshtein_similarity,
@@ -21,32 +22,46 @@ from repro.model.schema import DataType, Schema
 __all__ = [
     "FieldComparator",
     "RecordComparator",
+    "GEO_SCALE_DEGREES",
     "MEASURE_DOMAINS",
     "TRANSIENT_DTYPES",
     "default_comparator",
     "profiled_comparator",
     "geo_similarity",
+    "parse_point",
 ]
 
+#: Decay length of the geo measure: 0.05° is ~5 km — city-block
+#: resolution.  Shared with the vectorised kernels so both paths score
+#: the identical curve.
+GEO_SCALE_DEGREES = 0.05
 
-def geo_similarity(a: object, b: object, scale_degrees: float = 0.05) -> float:
+
+def parse_point(value: object) -> tuple[float, float] | None:
+    """``(lat, lon)`` from a coordinate tuple or ``"lat, lon"`` string.
+
+    ``None`` when the value is not a coordinate; shared by
+    :func:`geo_similarity` and the vectorised kernels so both paths
+    agree on what parses.
+    """
+    if isinstance(value, tuple) and len(value) == 2:
+        return (float(value[0]), float(value[1]))
+    try:
+        lat_text, lon_text = str(value).split(",")
+        return (float(lat_text), float(lon_text))
+    except (ValueError, AttributeError):
+        return None
+
+
+def geo_similarity(
+    a: object, b: object, scale_degrees: float = GEO_SCALE_DEGREES
+) -> float:
     """Closeness of two coordinate pairs, decaying over ``scale_degrees``.
 
     Accepts ``(lat, lon)`` tuples or ``"lat, lon"`` strings; 1.0 at zero
-    distance, ~0.37 at one scale length (the default, 0.05°, is ~5 km —
-    city-block resolution), → 0 beyond.
+    distance, ~0.37 at one scale length, → 0 beyond.
     """
-
-    def parse(value: object) -> tuple[float, float] | None:
-        if isinstance(value, tuple) and len(value) == 2:
-            return (float(value[0]), float(value[1]))
-        try:
-            lat_text, lon_text = str(value).split(",")
-            return (float(lat_text), float(lon_text))
-        except (ValueError, AttributeError):
-            return None
-
-    point_a, point_b = parse(a), parse(b)
+    point_a, point_b = parse_point(a), parse_point(b)
     if point_a is None or point_b is None:
         return 0.0
     distance = math.hypot(point_a[0] - point_b[0], point_a[1] - point_b[1])
@@ -59,6 +74,7 @@ _MEASURES: dict[str, Callable[[object, object], float]] = {
         str(a).lower(), str(b).lower()
     ),
     "jaccard": lambda a, b: jaccard(token_set(str(a)), token_set(str(b))),
+    "dice": lambda a, b: dice(token_set(str(a)), token_set(str(b))),
     "tokens": lambda a, b: monge_elkan(str(a), str(b)),
     "tokens_strict": lambda a, b: monge_elkan(str(a), str(b), combine="min"),
     "numeric": lambda a, b: (
@@ -88,6 +104,7 @@ MEASURE_DOMAINS: dict[str, frozenset[DataType] | None] = {
     "jaro": None,
     "levenshtein": None,
     "jaccard": None,
+    "dice": None,
     "tokens": None,
     "tokens_strict": None,
     "exact": None,

@@ -12,14 +12,17 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Protocol, Sequence
 
 import networkx as nx
+import numpy as np
 
 from repro.model.records import Record, Table
-from repro.resolution.blocking import full_pairs, token_blocking
+from repro.resolution.blocking import full_pairs, pair_array, token_blocking
 from repro.resolution.comparison import RecordComparator, default_comparator
+from repro.resolution.kernels import compile_comparator
 from repro.resolution.rules import MatchDecision, ThresholdRule
 
 if TYPE_CHECKING:  # typing only: resolution must not import core at runtime
     from repro.core.executor import Executor
+    from repro.obs import MetricsRegistry
 
 __all__ = [
     "EntityCluster",
@@ -141,8 +144,10 @@ class EntityResolver:
         comparator: RecordComparator | None = None,
         rule: _Rule | None = None,
         blocking_attributes: Sequence[str] | None = None,
-        blocker: Callable[[Table], set[tuple[int, int]]] | None = None,
+        blocker: Callable[[Table], object] | None = None,
         small_table_cutoff: int = 30,
+        use_kernels: bool = True,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.comparator = comparator
         self.rule: _Rule = rule if rule is not None else ThresholdRule(0.8)
@@ -151,10 +156,21 @@ class EntityResolver:
         )
         self.blocker = blocker
         self.small_table_cutoff = small_table_cutoff
+        #: Engage the vectorised prune kernels when the comparator/rule
+        #: pair is compilable.  The kernels are a *sound prefilter* —
+        #: decisions stay bit-identical — so this is a pure perf toggle,
+        #: kept switchable for parity testing and benchmarking.
+        self.use_kernels = use_kernels
+        #: Optional registry for blocking/kernel observability counters
+        #: (``blocking.dropped_*``, ``kernels.*``).  Never shipped to
+        #: workers: all counts are incremented on the coordinator, so
+        #: telemetry stays identical across executor backends.
+        self.metrics = metrics
 
-    def _candidate_pairs(self, table: Table) -> set[tuple[int, int]]:
+    def _candidate_pairs(self, table: Table) -> np.ndarray:
         if self.blocker is not None:
-            return self.blocker(table)
+            # Custom blockers may still return legacy pair sets.
+            return pair_array(self.blocker(table))
         if len(table) <= self.small_table_cutoff:
             return full_pairs(table)
         attributes = self.blocking_attributes
@@ -166,7 +182,7 @@ class EntityResolver:
             ) or tuple(
                 name for name in table.schema.names if not name.startswith("_")
             )[:2]
-        return token_blocking(table, attributes)
+        return token_blocking(table, attributes, metrics=self.metrics)
 
     def resolve(
         self, table: Table, executor: "Executor | None" = None
@@ -182,8 +198,7 @@ class EntityResolver:
         """
         comparator = self.comparator or default_comparator(table.schema)
         pairs = self._candidate_pairs(table)
-        ordered_pairs = sorted(pairs)
-        matches = self._decide(table, comparator, ordered_pairs, executor)
+        matches = self._decide(table, comparator, pairs, executor)
 
         graph = nx.Graph()
         graph.add_nodes_from(range(len(table)))
@@ -200,18 +215,50 @@ class EntityResolver:
         return ResolutionResult(
             clusters,
             matched_pairs=matched,
-            compared=len(ordered_pairs),
-            candidate_pairs=len(pairs),
+            compared=int(pairs.shape[0]),
+            candidate_pairs=int(pairs.shape[0]),
         )
+
+    def _prefilter(
+        self, table: Table, comparator: RecordComparator, pairs: np.ndarray
+    ) -> np.ndarray:
+        """Prune pairs the compiled kernels prove cannot match.
+
+        Runs on the coordinator *before* executor chunking, so the
+        surviving pair order — and therefore chunk contents, merge
+        order, and the final result — is identical across backends.
+        Every survivor is re-decided by the exact scalar path; the
+        kernels never decide, only discard the provably hopeless.
+        """
+        if not self.use_kernels or pairs.shape[0] == 0:
+            return pairs
+        compiled = compile_comparator(
+            comparator, self.rule, table, metrics=self.metrics
+        )
+        if compiled is None:
+            return pairs
+        survivors = compiled.survivors(pairs)
+        if self.metrics is not None:
+            self.metrics.counter("kernels.candidates").increment(
+                int(pairs.shape[0])
+            )
+            self.metrics.counter("kernels.pruned").increment(
+                int(pairs.shape[0] - survivors.shape[0])
+            )
+            self.metrics.counter("kernels.survivors").increment(
+                int(survivors.shape[0])
+            )
+        return survivors
 
     def _decide(
         self,
         table: Table,
         comparator: RecordComparator,
-        ordered_pairs: list[tuple[int, int]],
+        pairs: np.ndarray,
         executor: "Executor | None",
     ) -> list[tuple[int, int, tuple[str, str], float | None]]:
         """Compare and decide every candidate pair, fanning out if safe."""
+        ordered_pairs = self._prefilter(table, comparator, pairs).tolist()
         if executor is not None and len(ordered_pairs) > 1:
             if executor.gate_process(
                 "resolve.compare", comparator.vector, self.rule.decide

@@ -161,6 +161,54 @@ class TestRatchetMode:
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is False
 
+    def test_check_baselines_passes_when_benchmarks_exist(
+        self, tmp_path
+    ):
+        benches = tmp_path / "benchmarks"
+        benches.mkdir()
+        (benches / "bench_synthetic.py").write_text(
+            'emit("BENCH_synthetic", "...")\n', encoding="utf-8"
+        )
+        assert main(
+            ["--ratchet", "--baseline", str(BASELINE),
+             "--fresh", str(BASELINE),
+             "--check-baselines", str(benches)]
+        ) == 0
+
+    def test_orphan_baseline_fails_the_gate(self, tmp_path, capsys):
+        benches = tmp_path / "benchmarks"
+        benches.mkdir()  # no bench_*.py mentions BENCH_synthetic
+        code = main(
+            ["--ratchet", "--baseline", str(BASELINE),
+             "--fresh", str(BASELINE),
+             "--check-baselines", str(benches)]
+        )
+        assert code == 1
+        assert "orphan baseline" in capsys.readouterr().out
+
+    def test_orphans_surface_in_json_output(self, tmp_path, capsys):
+        benches = tmp_path / "benchmarks"
+        benches.mkdir()
+        main(
+            ["--ratchet", "--baseline", str(BASELINE),
+             "--fresh", str(BASELINE),
+             "--check-baselines", str(benches),
+             "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["orphan_baselines"] == ["BENCH_synthetic.json"]
+
+    def test_missing_benchmarks_dir_is_a_usage_error(
+        self, tmp_path, capsys
+    ):
+        assert main(
+            ["--ratchet", "--baseline", str(BASELINE),
+             "--fresh", str(BASELINE),
+             "--check-baselines", str(tmp_path / "nowhere")]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestCalibrateMode:
     def test_calibrates_from_a_snapshot(self, tmp_path, capsys):

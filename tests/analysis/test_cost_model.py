@@ -73,6 +73,27 @@ class TestEstimatedPairs:
         pairs, _ = estimated_pairs(0.0, ResolutionProfile())
         assert pairs == 0.0
 
+    def test_minhash_lsh_estimates_rows_times_bands(self):
+        profile = ResolutionProfile(strategy="minhash_lsh", bands=16)
+        pairs, full = estimated_pairs(10_000.0, profile)
+        assert not full
+        assert pairs == pytest.approx(10_000.0 * 16.0)
+        assert pairs < 10_000.0 * 9_999.0 / 2.0
+
+    def test_minhash_lsh_estimate_never_exceeds_full_pairs(self):
+        # 40 rows x 16 bands = 640 would exceed the 780 full pairs only
+        # with wildly degenerate buckets; the estimate stays capped.
+        profile = ResolutionProfile(strategy="minhash_lsh", bands=50)
+        pairs, full = estimated_pairs(40.0, profile)
+        assert not full
+        assert pairs == pytest.approx(40.0 * 39.0 / 2.0)
+
+    def test_minhash_lsh_small_table_still_goes_full(self):
+        profile = ResolutionProfile(strategy="minhash_lsh", bands=16)
+        pairs, full = estimated_pairs(10.0, profile)
+        assert full
+        assert pairs == pytest.approx(45.0)
+
 
 class TestSourceFacts:
     ROWS = [{"product": f"p{i}", "price": "$1.00"} for i in range(7)]

@@ -8,6 +8,7 @@ import pytest
 
 from repro.analysis.cost.ratchet import (
     DEFAULT_TOLERANCE,
+    orphan_baselines,
     run_ratchet,
 )
 from repro.errors import AnalysisError
@@ -139,3 +140,44 @@ class TestCommittedBenchmarkBaselines:
         report = run_ratchet(results, results)
         assert report.ok
         assert report.entries  # BENCH_parallel_er carries real metrics
+
+
+class TestOrphanBaselines:
+    def test_named_baselines_are_not_orphans(self, tmp_path):
+        base = tmp_path / "results"
+        write_bench(base, name="BENCH_alpha", timings_seconds={"t": 1.0})
+        benches = tmp_path / "benchmarks"
+        benches.mkdir()
+        (benches / "bench_alpha.py").write_text(
+            'emit("BENCH_alpha", "...")\n', encoding="utf-8"
+        )
+        assert orphan_baselines(base, benches) == []
+
+    def test_unreferenced_baseline_is_flagged(self, tmp_path):
+        base = tmp_path / "results"
+        write_bench(base, name="BENCH_alpha", timings_seconds={"t": 1.0})
+        write_bench(base, name="BENCH_ghost", timings_seconds={"t": 1.0})
+        benches = tmp_path / "benchmarks"
+        benches.mkdir()
+        (benches / "bench_alpha.py").write_text(
+            'emit("BENCH_alpha", "...")\n', encoding="utf-8"
+        )
+        assert orphan_baselines(base, benches) == ["BENCH_ghost.json"]
+
+    def test_telemetry_snapshots_are_ignored(self, tmp_path):
+        base = tmp_path / "results"
+        base.mkdir()
+        (base / "BENCH_ghost.telemetry.json").write_text("{}")
+        benches = tmp_path / "benchmarks"
+        benches.mkdir()
+        assert orphan_baselines(base, benches) == []
+
+    def test_missing_benchmarks_dir_is_a_usage_error(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            orphan_baselines(tmp_path, tmp_path / "nowhere")
+
+    def test_repo_baselines_all_have_generating_benchmarks(self):
+        repo = Path(__file__).resolve().parents[2]
+        assert orphan_baselines(
+            repo / "benchmarks/results", repo / "benchmarks"
+        ) == []

@@ -93,6 +93,27 @@ class TestTfidfCosine:
         assert tfidf_cosine([], [], []) == 1.0
         assert tfidf_cosine(["a"], [], [["a"]]) == 0.0
 
+    def test_document_frequencies_memoised_per_corpus_identity(self):
+        from repro.matching.similarity import _doc_frequencies
+
+        corpus = [["tv", "acme"], ["radio", "acme"]]
+        first = _doc_frequencies(corpus)
+        assert _doc_frequencies(corpus) is first
+        # An equal but distinct corpus object gets its own entry — the
+        # memo keys on identity, never content.
+        clone = [list(doc) for doc in corpus]
+        assert _doc_frequencies(clone) is not first
+        assert _doc_frequencies(clone) == first
+
+    def test_memoised_scores_match_fresh_corpus_scores(self):
+        corpus = [["the", "acme", "tv"], ["the", "globex", "radio"]]
+        warm = tfidf_cosine(["the", "acme"], ["acme"], corpus)
+        again = tfidf_cosine(["the", "acme"], ["acme"], corpus)
+        cold = tfidf_cosine(
+            ["the", "acme"], ["acme"], [list(doc) for doc in corpus]
+        )
+        assert warm == again == cold
+
 
 class TestNumericSimilarity:
     def test_equal(self):

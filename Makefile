@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-json typecheck parallel-check cost-check bench-gate bench-smoke bench-parallel chaos check
+.PHONY: test lint lint-json typecheck parallel-check cost-check bench-gate bench-smoke bench-parallel chaos chaos-crash check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -51,7 +51,7 @@ bench-gate:
 	rm -rf benchmarks/.ratchet
 	mkdir -p benchmarks/.ratchet
 	cp benchmarks/results/BENCH_*.json benchmarks/.ratchet/
-	$(PYTHON) -m pytest benchmarks/bench_parallel.py benchmarks/bench_er_scale.py -q -p no:cacheprovider
+	$(PYTHON) -m pytest benchmarks/bench_parallel.py benchmarks/bench_er_scale.py benchmarks/bench_e14_velocity.py -q -p no:cacheprovider
 	$(PYTHON) -m repro.analysis.cost --ratchet --baseline benchmarks/.ratchet --fresh benchmarks/results --tolerance 0.5 --check-baselines benchmarks
 	$(PYTHON) -m repro.analysis.lint benchmarks --select REP015
 
@@ -79,4 +79,13 @@ chaos:
 	$(PYTHON) -m repro.obs.report benchmarks/results/E11-resilience.telemetry.json --validate-only
 	$(PYTHON) -m repro.analysis.lint src/repro tests benchmarks --select REP013
 
-check: test lint typecheck parallel-check cost-check bench-smoke bench-parallel bench-gate chaos
+# Crash chaos: the kill-at-every-checkpoint matrix (every commit point,
+# both sides of the journal write, byte-identical recovery with exact
+# ledger accounting), then REP016 over the source tree — every
+# durability-relevant write outside repro.io/repro.ingest must go
+# through atomic_write_bytes.
+chaos-crash:
+	$(PYTHON) -m pytest tests/ingest -q -p no:cacheprovider
+	$(PYTHON) -m repro.analysis.lint src/repro --select REP016
+
+check: test lint typecheck parallel-check cost-check bench-smoke bench-parallel bench-gate chaos chaos-crash

@@ -12,13 +12,27 @@ Measured: the fraction of the fleet's rows that are up to date afterwards,
 per unit spent.  Expected shape: scheduled > naive > none at equal budget.
 """
 
+import json
 import random
 
+import pytest
+
+from repro.errors import InjectedCrashError
+from repro.ingest.checkpoint import CheckpointStore, CrashPlan
+from repro.ingest.cursor import DELTA_COST_FLOOR
+from repro.ingest.incremental import acquire_durable, merge_delta
 from repro.selection.refresh import expected_staleness, plan_refresh
 from repro.sources.memory import MemorySource
 from repro.sources.registry import SourceRegistry
 
-from helpers import bench_telemetry, emit, emit_telemetry, format_table, timed
+from helpers import (
+    RESULTS_DIR,
+    bench_telemetry,
+    emit,
+    emit_telemetry,
+    format_table,
+    timed,
+)
 
 
 def build_fleet(seed: int):
@@ -121,3 +135,189 @@ def test_e14_refresh_scheduling(benchmark):
     # decisively (cost-blind policies waste spend on static archives)
     comfortable = outcomes[4.0]
     assert comfortable[2] - comfortable[1] > 0.05
+
+
+# --- BENCH_e14_incremental: the velocity claim, executed -----------------
+#
+# Scheduling decides *when* to re-access; cursors decide *how much*.  A
+# ticking feed appends APPEND rows per tick; the full-refetch policy pays
+# a whole access per tick, the delta policy pays only the appended
+# fraction (access-ledger-asserted), and a run killed mid-acquisition
+# resumes from its checkpoint paying only for the source whose commit
+# never landed.
+
+TICKS = 4
+BASE = 1200
+APPEND = 30
+REPEATS = 2
+
+
+def feed_rows(count: int) -> list[dict]:
+    return [
+        {
+            "product": f"item-{index:05d}",
+            "price": round(((index * 7) % 997) / 10.0, 2),
+            "seq": index,
+        }
+        for index in range(count)
+    ]
+
+
+def run_full_refetch() -> MemorySource:
+    source = MemorySource("feed", feed_rows(BASE))
+    source.fetch()
+    for tick in range(1, TICKS + 1):
+        source.replace_rows(feed_rows(BASE + tick * APPEND))
+        source.fetch()
+    return source
+
+
+def run_delta_fetch() -> MemorySource:
+    source = MemorySource("feed", feed_rows(BASE), cursor="seq")
+    batch = source.fetch_delta(None)
+    rows = [dict(row) for row in batch.rows]
+    mark = batch.watermark
+    for tick in range(1, TICKS + 1):
+        total = BASE + tick * APPEND
+        source.replace_rows(feed_rows(total))
+        batch = source.fetch_delta(mark)
+        assert batch.mode == "delta", batch.mode
+        assert len(batch.rows) == APPEND
+        assert batch.fraction == pytest.approx(
+            max(DELTA_COST_FLOOR, APPEND / total)
+        )
+        rows = merge_delta(rows, batch)
+        assert rows is not None and len(rows) == total
+        mark = batch.watermark
+    return source
+
+
+def crashed_store(root, names) -> None:
+    """A durable acquisition killed right after the second commit."""
+    store = CheckpointStore(
+        root, crash_plan=CrashPlan.at(f"acquire:{names[1]}")
+    )
+    log = store.begin_run("bench-e14")
+    try:
+        for name in names:
+            acquire_durable(
+                MemorySource(name, feed_rows(600), cursor="seq"), log
+            )
+        raise AssertionError("crash plan never fired")
+    except InjectedCrashError:
+        pass
+
+
+def resume_acquisition(root, names, telemetry=None) -> dict[str, float]:
+    """Resume the killed run; returns per-source ledger accesses."""
+    store = CheckpointStore(root, telemetry=telemetry)
+    log = store.begin_run("bench-e14")
+    assert log.resumed
+    sources = {
+        name: MemorySource(name, feed_rows(600), cursor="seq")
+        for name in names
+    }
+    for name, source in sources.items():
+        if log.restored(f"acquire:{name}") is None:
+            acquire_durable(source, log, telemetry)
+    log.complete()
+    return {name: source.accesses for name, source in sources.items()}
+
+
+def test_e14_incremental_ingestion(benchmark, tmp_path):
+    telemetry = bench_telemetry()
+    names = [f"feed-{index}" for index in range(3)]
+
+    full_seconds, delta_seconds = [], []
+    for repeat in range(REPEATS):
+        full_source, seconds = timed(
+            telemetry, "ingest.full_refetch", run_full_refetch, repeat=repeat
+        )
+        full_seconds.append(seconds)
+        delta_source, seconds = timed(
+            telemetry, "ingest.delta_fetch", run_delta_fetch, repeat=repeat
+        )
+        delta_seconds.append(seconds)
+
+    # The ledger is the claim: full refetch pays one whole access per
+    # tick; the delta path pays the appended fraction plus the initial
+    # full fetch — nothing else.
+    full_accesses = full_source.accesses
+    delta_accesses = delta_source.accesses
+    assert full_accesses == pytest.approx(TICKS + 1)
+    assert delta_accesses == pytest.approx(
+        1.0
+        + sum(
+            max(DELTA_COST_FLOOR, APPEND / (BASE + tick * APPEND))
+            for tick in range(1, TICKS + 1)
+        )
+    )
+    assert delta_accesses < 0.25 * full_accesses
+
+    resume_seconds = []
+    for repeat in range(REPEATS):
+        root = tmp_path / f"resume-{repeat}"
+        crashed_store(root, names)
+        ledgers, seconds = timed(
+            telemetry,
+            "ingest.resume_after_crash",
+            lambda r=root: resume_acquisition(r, names, telemetry),
+            repeat=repeat,
+        )
+        resume_seconds.append(seconds)
+        # Two of three acquisitions were committed before the death; the
+        # resume restores them and charges only the third.
+        assert ledgers[names[0]] == 0.0
+        assert ledgers[names[1]] == 0.0
+        assert ledgers[names[2]] == pytest.approx(1.0)
+
+    # A resumed probe of an unchanged feed is the steady-state hot path.
+    steady = MemorySource("steady", feed_rows(BASE), cursor="seq")
+    steady_mark = steady.fetch_delta(None).watermark
+    benchmark.pedantic(
+        lambda: steady.fetch_delta(steady_mark), rounds=5, iterations=1
+    )
+
+    timings = {
+        "full_refetch": round(min(full_seconds), 4),
+        "delta_fetch": round(min(delta_seconds), 4),
+        "resume_after_crash": round(min(resume_seconds), 4),
+    }
+    costs = {
+        "full_refetch_accesses": round(full_accesses, 4),
+        "delta_fetch_accesses": round(delta_accesses, 4),
+        "resume_extra_accesses": 1.0,
+    }
+    record = {
+        "experiment": "BENCH_e14_incremental",
+        "workload": {
+            "base_rows": BASE,
+            "appended_per_tick": APPEND,
+            "ticks": TICKS,
+            "cursor": "seq",
+            "resume_fleet": len(names),
+            "repeats": REPEATS,
+        },
+        "timings_seconds": timings,
+        "costs": costs,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_e14_incremental.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    emit(
+        "BENCH_e14_incremental",
+        format_table(
+            ["policy", "seconds", "ledger accesses"],
+            [
+                ["full refetch", timings["full_refetch"],
+                 costs["full_refetch_accesses"]],
+                ["delta fetch", timings["delta_fetch"],
+                 costs["delta_fetch_accesses"]],
+                ["resume after crash", timings["resume_after_crash"],
+                 costs["resume_extra_accesses"]],
+            ],
+        ),
+    )
+    emit_telemetry("BENCH_e14_incremental", telemetry.snapshot())

@@ -447,6 +447,10 @@ LAYER_RANKS: Mapping[str, int] = {
     "context": 2,
     "sources": 2,
     "io": 2,
+    # Same rank as sources/io: durable acquisition state is the sources'
+    # peer (sources call into ingest cursors, ingest decodes source
+    # shapes), and same-rank imports are legal in both directions.
+    "ingest": 2,
     "matching": 3,
     "extraction": 3,
     "kb": 3,
@@ -946,4 +950,82 @@ def _check_bench_telemetry_required(
                 "raw print() in a benchmark bypasses benchmarks/results/",
                 "report through helpers.emit() so the table is persisted "
                 "for EXPERIMENTS.md",
+            )
+
+
+# -- REP016 ---------------------------------------------------------------
+
+#: Layers sanctioned to perform raw file writes: ``io`` owns the atomic
+#: primitive (and the explicit CSV/JSON exporters built on the same
+#: contract), ``ingest`` persists only through it.
+_ATOMIC_WRITE_EXEMPT_LAYERS = {"io", "ingest"}
+
+#: open() modes that persist (write, append, exclusive-create).
+_WRITE_MODE_CHARS = set("wax")
+
+
+def _open_write_mode(node: ast.Call) -> bool:
+    """Whether an ``open``/``.open`` call provably uses a write mode.
+
+    Only string-literal modes are judged (positional or ``mode=``): a
+    dynamic mode, or an unrelated ``.open`` method (a tracer's span
+    opener), is not evidence of persistence and must not fire.
+    """
+    mode: ast.expr | None = None
+    if len(node.args) >= 2 and isinstance(node.func, ast.Name):
+        mode = node.args[1]
+    elif node.args and isinstance(node.func, ast.Attribute):
+        mode = node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return bool(_WRITE_MODE_CHARS & set(mode.value))
+    return False
+
+
+@rule(
+    "REP016",
+    "atomic-writes-only",
+    Severity.ERROR,
+    "Raw open(..., 'w') / Path.write_text / Path.write_bytes persistence "
+    "outside the sanctioned io/ and ingest/ layers can be torn by a "
+    "crash mid-write — exactly the corruption the checkpoint journal "
+    "quarantines.  Durable state must go through "
+    "repro.io.atomic_write_bytes (write-temp, fsync, os.replace).",
+)
+def _check_atomic_writes_only(context: ModuleContext) -> Iterator[Diagnostic]:
+    if context.layer not in LAYER_RANKS:
+        return  # benchmarks/tests/tools are outside the architecture
+    if context.layer in _ATOMIC_WRITE_EXEMPT_LAYERS:
+        return
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            yield context.diagnostic(
+                "REP016",
+                Severity.ERROR,
+                node,
+                f"raw .{func.attr}() persistence outside the io/ingest "
+                "layers is not crash-atomic",
+                "serialise the payload and write it with "
+                "repro.io.atomic_write_bytes",
+            )
+        elif (
+            (isinstance(func, ast.Name) and func.id == "open")
+            or (isinstance(func, ast.Attribute) and func.attr == "open")
+        ) and _open_write_mode(node):
+            yield context.diagnostic(
+                "REP016",
+                Severity.ERROR,
+                node,
+                "raw open() in a write mode outside the io/ingest layers "
+                "is not crash-atomic",
+                "write through repro.io.atomic_write_bytes (or an io/ "
+                "exporter built on it)",
             )

@@ -75,6 +75,15 @@ class Dataflow:
         #: nodes not certified ``pure``: every pull recomputes them.
         #: Certify with :meth:`certify` before enabling.
         self.strict_purity = False
+        #: Callbacks fired with ``(name, value)`` after a node's compute
+        #: lands (inline or worker-absorbed) — the checkpoint layer's
+        #: wave-commit hook.  Replays of memoised values do not fire.
+        self._observers: list[Callable[[str, Any], None]] = []
+
+    def on_node_computed(self, callback: Callable[[str, Any], None]) -> None:
+        """Register a compute observer (idempotent per callback)."""
+        if callback not in self._observers:
+            self._observers.append(callback)
 
     # -- construction -----------------------------------------------------
 
@@ -181,6 +190,8 @@ class Dataflow:
         node.seconds += elapsed
         node.clean = True
         node.runs += 1
+        for observer in self._observers:
+            observer(node.name, node.value)
 
     def _sweep(self, names: Iterable[str]) -> None:
         """Recompute the dirty nodes among ``names`` (topological order)."""
@@ -216,6 +227,8 @@ class Dataflow:
         node.seconds += elapsed
         node.clean = True
         node.runs += 1
+        for observer in self._observers:
+            observer(node.name, node.value)
 
     def _parallel_sweep(self, names: Iterable[str], executor: Any) -> None:
         """Recompute dirty nodes in dependency waves, fanning out when safe.

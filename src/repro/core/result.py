@@ -40,6 +40,13 @@ class WrangleResult:
     #: outcomes, breaker state, and final disposition.  ``None`` when the
     #: wrangler runs without :meth:`~repro.core.wrangler.Wrangler.resilience`.
     degradation: dict | None = None
+    #: The run's durable-ingestion summary (see
+    #: :meth:`repro.ingest.checkpoint.RunLog.export`): run id, whether it
+    #: resumed and from which checkpoint, committed steps, per-source
+    #: delta/full acquisition modes and watermarks, and the output
+    #: snapshot id the run replays from.  ``None`` when the wrangler runs
+    #: without :meth:`~repro.core.wrangler.Wrangler.checkpointing`.
+    ingest: dict | None = None
 
     def degraded_sources(self) -> list[str]:
         """Sources that did not deliver data this run (ledger verdicts)."""
@@ -100,6 +107,26 @@ class WrangleResult:
                     if degraded
                     else "all sources survived"
                 )
+            )
+        if self.ingest:
+            modes = {
+                name: entry.get("mode", "?")
+                for name, entry in self.ingest.get("acquisitions", {}).items()
+            }
+            resumed = (
+                f"resumed from {self.ingest.get('resumed_from')!r}"
+                if self.ingest.get("resumed")
+                else "fresh"
+            )
+            lines.append(
+                f"ingest: {self.ingest.get('run_id')} ({resumed}); "
+                + (
+                    "acquisitions: "
+                    + ", ".join(f"{n}={m}" for n, m in sorted(modes.items()))
+                    if modes
+                    else "no acquisitions this run"
+                )
+                + f"; snapshot {self.ingest.get('output_snapshot')}"
             )
         lines.append(f"quality: {self.quality.summary()}")
         lines.append(

@@ -132,6 +132,14 @@ class Wrangler:
         #: consumed (popped) by ``_acquire`` — errors are re-raised there
         #: so degraded-source handling stays on the coordinator.
         self._prefetched: dict[str, tuple[str, object]] = {}
+        #: Durable-ingestion configuration, set by :meth:`checkpointing`.
+        #: When a store is attached every probe and acquisition commits a
+        #: checkpoint, stage nodes journal as they land, and an
+        #: interrupted run resumes from the last committed step.
+        self._checkpoints = None
+        #: The open :class:`~repro.ingest.checkpoint.RunLog` while a
+        #: checkpointed run executes (None otherwise).
+        self._ingest_log = None
         from repro.core.history import SnapshotHistory
 
         self.history = SnapshotHistory()
@@ -211,6 +219,39 @@ class Wrangler:
         self._cost_budget = None if total is None else float(total)
         return self
 
+    def checkpointing(self, store) -> "Wrangler":
+        """Journal run progress durably so an interrupted run resumes.
+
+        ``store`` is a :class:`~repro.ingest.checkpoint.CheckpointStore`.
+        With it attached, every probe and acquisition commits (payload
+        snapshot + per-source watermark), sources with a declared delta
+        cursor re-fetch only rows past the committed watermark, stage
+        nodes journal as they compute, and the next run under the same
+        plan signature resumes from the last committed checkpoint — no
+        source access is ever paid for twice.  The run's summary lands on
+        ``WrangleResult.ingest``; see ``docs/INCREMENTAL.md``.
+        """
+        self._checkpoints = store
+        if store is not None and store.telemetry is None:
+            store.telemetry = self.telemetry
+        return self
+
+    def _plan_signature(self) -> str:
+        """The stable identity a resumable run is keyed on.
+
+        Source set, target schema, and join configuration: a crashed
+        run's checkpoints are only trusted by a successor asking for the
+        same wrangle.
+        """
+        from repro.model.workingdata import content_digest
+
+        return content_digest({
+            "sources": sorted(self.registry.names()),
+            "target": [a.name for a in self.user.target_schema],
+            "master_key": self.master_key,
+            "join_attribute": self.join_attribute,
+        })
+
     def annotate_examples(
         self, source_name: str, examples: Sequence[ExampleAnnotation]
     ) -> "Wrangler":
@@ -241,9 +282,9 @@ class Wrangler:
             source = self.registry.get(name)
             try:
                 if isinstance(source, StructuredSource):
-                    sample = source.probe().infer_schema()
+                    sample = self._probed(source).infer_schema()
                 elif isinstance(source, DocumentSource):
-                    documents = source.probe()
+                    documents = self._probed(source)
                     # Probing must stay cheap: induce the bootstrap wrapper
                     # from the documents the probe already paid for, never
                     # from a full fetch.  Examples pointing at pages outside
@@ -320,6 +361,28 @@ class Wrangler:
         self.working.put("report", "probes", reports)
         return reports
 
+    def _probed(self, source: DataSource):
+        """This run's probe result for ``source`` — restored or live.
+
+        Under checkpointing each probe commits as its own step, so a run
+        killed mid-probe resumes past the sources already sampled without
+        re-charging their probe fraction.
+        """
+        log = self._ingest_log
+        if log is None:
+            return source.probe()
+        step = f"probe:{source.name}"
+        restored = log.restored(step)
+        if restored is not None:
+            return restored
+        from repro.sources.base import PROBE_COST_FRACTION
+
+        value = source.probe()
+        log.commit(
+            step, data={"fraction": PROBE_COST_FRACTION}, payload=value
+        )
+        return value
+
     def _acquire(self, source: DataSource) -> Table:
         """Fetch one source, degrading gracefully when it breaks.
 
@@ -380,14 +443,29 @@ class Wrangler:
         fetches fresh data.  A prefetched failure is re-raised here, on
         the coordinator, so ``_acquire``'s degraded-source handling is
         identical in sequential and parallel modes.
+
+        Under checkpointing the fetch is durable: a checkpoint committed
+        by a prior (killed) attempt is restored without touching the
+        source, and a live fetch goes through
+        :func:`~repro.ingest.incremental.acquire_durable` — delta when
+        the committed watermark allows, committed before the value is
+        handed to the pipeline.
         """
         outcome = self._prefetched.pop(source.name, None)
-        if outcome is None:
-            return source.fetch()
-        status, value = outcome
-        if status == "error":
-            raise value  # type: ignore[misc]
-        return value
+        if outcome is not None:
+            status, value = outcome
+            if status == "error":
+                raise value  # type: ignore[misc]
+            return value
+        log = self._ingest_log
+        if log is not None:
+            restored = log.restored(f"acquire:{source.name}")
+            if restored is not None:
+                return restored
+            from repro.ingest.incremental import acquire_durable
+
+            return acquire_durable(source, log, self.telemetry)
+        return source.fetch()
 
     def _record_degradation(self, source_name: str) -> None:
         """File one source's attempt/outcome ledger in the working data.
@@ -914,6 +992,24 @@ class Wrangler:
             span.set_attribute("outcome", outcome[0])
             self._prefetched[name] = outcome
 
+    #: Stage nodes journaled as waves under checkpointing.  Table-valued
+    #: nodes snapshot their payload (replayable by id); the others commit
+    #: as progress markers — resume recomputes them deterministically
+    #: from the restored acquisitions without touching any source.
+    _DURABLE_NODES = ("select", "translate", "resolve", "fuse", "repair")
+
+    def _checkpoint_node(self, name: str, value) -> None:
+        """Dataflow observer: journal one landed stage node."""
+        log = self._ingest_log
+        if log is None or name not in self._DURABLE_NODES:
+            return
+        payload = None
+        if isinstance(value, Table):
+            payload = value
+        elif name == "repair" and value is not None:
+            payload = value.table
+        log.commit(f"node:{name}", data={"node": name}, payload=payload)
+
     def _run(self, executor: Executor | None = None) -> WrangleResult:
         flow = self.flow
         if executor is not None and None in flow.parallel_map().values():
@@ -922,10 +1018,33 @@ class Wrangler:
             flow.certify_parallel()
         runs_before = flow.total_runs()
         self._arm_run_deadline()
+        ingest_log = None
+        if self._checkpoints is not None:
+            ingest_log = self._checkpoints.begin_run(self._plan_signature())
+            self._ingest_log = ingest_log
+            flow.on_node_computed(self._checkpoint_node)
+        try:
+            return self._run_body(
+                flow, executor, runs_before, ingest_log
+            )
+        finally:
+            self._ingest_log = None
+
+    def _run_body(
+        self,
+        flow: Dataflow,
+        executor: Executor | None,
+        runs_before: int,
+        ingest_log,
+    ) -> WrangleResult:
         with self.telemetry.tracer.span("wrangle.run") as run_span:
             if executor is not None:
                 flow.pull("plan", executor=executor)
-                self._prefetch_sources(flow.value("plan"), executor)
+                if ingest_log is None:
+                    # Durable acquisition serialises its commits on the
+                    # coordinator; the thread-pool prefetch would bypass
+                    # the journal, so checkpointed runs fetch inline.
+                    self._prefetch_sources(flow.value("plan"), executor)
             self._run_executor = executor
             try:
                 repair_result = flow.pull("repair", executor=executor)
@@ -980,6 +1099,10 @@ class Wrangler:
             self.history.record(wrangled)
             self._recorded_fuse_runs = produced
         self._enforce_quorum()
+        ingest_export = None
+        if ingest_log is not None:
+            ingest_log.complete(payload=wrangled)
+            ingest_export = ingest_log.export()
         return WrangleResult(
             table=wrangled,
             plan=plan,
@@ -996,6 +1119,7 @@ class Wrangler:
                 if self.degradation is not None
                 else None
             ),
+            ingest=ingest_export,
         )
 
     def _arm_run_deadline(self) -> None:

@@ -131,6 +131,27 @@ class RepairError(WranglingError):
     """Constraint repair could not produce a consistent instance."""
 
 
+class CheckpointError(WranglingError):
+    """Durable ingestion state could not be written, read, or verified.
+
+    Raised by :mod:`repro.ingest` when a journal or snapshot fails its
+    integrity check (checksum mismatch, truncated JSON) or when a
+    snapshot id resolves to nothing.  Corrupted files are quarantined
+    rather than trusted — see ``docs/INCREMENTAL.md``.
+    """
+
+
+class InjectedCrashError(Exception):
+    """A scripted process death from the chaos harness.
+
+    Deliberately **not** a :class:`WranglingError`: a crash must escape
+    every graceful-degradation handler (``_acquire`` catches
+    ``WranglingError``, the resilience engine retries ``WranglingError``
+    and ``OSError``) exactly as ``kill -9`` would.  Only the chaos test
+    harness raises and catches this.
+    """
+
+
 class ParallelSafetyError(WranglingError):
     """A strict consumer refused to fan out an uncertified callable.
 

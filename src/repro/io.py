@@ -11,13 +11,33 @@ from __future__ import annotations
 import csv
 import datetime as _dt
 import json
+import os
 from pathlib import Path
 from typing import Any
 
 from repro.model.provenance import Provenance
 from repro.model.records import Table
 
-__all__ = ["write_csv", "write_json", "read_json_table"]
+__all__ = ["atomic_write_bytes", "write_csv", "write_json", "read_json_table"]
+
+
+def atomic_write_bytes(path: str | Path, payload: bytes) -> Path:
+    """Write a file so readers see the old content or the new — never half.
+
+    The durable-persistence primitive (lint rule REP016 forbids raw
+    ``open(..., "w")`` persistence elsewhere): the payload lands in a
+    sibling temp file, is fsynced, and is renamed over the target.
+    ``os.replace`` is atomic on POSIX and Windows, so a crash at any
+    instant leaves either the previous file or the complete new one.
+    """
+    path = Path(path)
+    temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    with temp.open("wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+    return path
 
 
 def _jsonable(value: Any) -> Any:

@@ -11,12 +11,32 @@ invalidate exactly the dependent computations.
 
 from __future__ import annotations
 
+import datetime as _dt
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Mapping
 
+from repro.errors import CheckpointError
 from repro.model.annotations import AnnotationStore
+from repro.model.provenance import Provenance, Step
+from repro.model.records import Record, Table
+from repro.model.schema import Attribute, DataType, Schema
+from repro.model.values import Value
 
-__all__ = ["ArtifactKey", "WorkingData"]
+__all__ = [
+    "ArtifactKey",
+    "SNAPSHOT_VERSION",
+    "WorkingData",
+    "canonical_bytes",
+    "content_digest",
+    "decode_table",
+    "encode_table",
+    "row_digest",
+    "table_fingerprint",
+    "tag_raw",
+    "untag_raw",
+]
 
 
 @dataclass(frozen=True, order=True)
@@ -122,3 +142,235 @@ class WorkingData:
         for akey in self._entries:
             counts[akey.category] = counts.get(akey.category, 0) + 1
         return dict(sorted(counts.items()))
+
+    def table_fingerprints(self) -> dict[str, str]:
+        """Content fingerprint of every ``table`` artifact.
+
+        The cross-run identity of the working data: two runs whose
+        fingerprints match produced logically identical tables, however
+        the process-local record ids happened to be minted.  The crash
+        recovery suite asserts a resumed run against an uninterrupted
+        one through exactly this view.
+        """
+        return {
+            key: table_fingerprint(value)
+            for key, value in self.items("table")
+            if isinstance(value, Table)
+        }
+
+
+# -- versioned working-data snapshots ------------------------------------
+#
+# Tables must leave (and re-enter) the process without losing what makes
+# them working data: per-cell dtype, confidence, and the full provenance
+# tree.  The codec below is exact — ``decode_table(encode_table(t))``
+# reproduces every cell byte-for-byte — and content addressing hashes the
+# canonical JSON form, so a snapshot id names the data it stores.
+
+#: Version stamp carried by every encoded snapshot payload; bump on any
+#: change to the encoding so old stores are detected, not misread.
+SNAPSHOT_VERSION = 1
+
+#: Type tag key for raw payloads JSON cannot express natively.
+_TAG = "__repro__"
+
+
+def tag_raw(raw: Any) -> Any:
+    """A JSON-able stand-in for one raw payload (cell or cursor value)."""
+    if isinstance(raw, _dt.datetime):
+        return {_TAG: "datetime", "value": raw.isoformat()}
+    if isinstance(raw, _dt.date):
+        return {_TAG: "date", "value": raw.isoformat()}
+    if isinstance(raw, tuple):
+        return {_TAG: "tuple", "items": [tag_raw(item) for item in raw]}
+    if isinstance(raw, dict):
+        return {_TAG: "dict", "items": {
+            str(key): tag_raw(value) for key, value in raw.items()
+        }}
+    return raw
+
+
+def untag_raw(payload: Any) -> Any:
+    """Invert :func:`tag_raw`."""
+    if isinstance(payload, dict):
+        kind = payload.get(_TAG)
+        if kind == "datetime":
+            return _dt.datetime.fromisoformat(payload["value"])
+        if kind == "date":
+            return _dt.date.fromisoformat(payload["value"])
+        if kind == "tuple":
+            return tuple(untag_raw(item) for item in payload["items"])
+        if kind == "dict":
+            return {
+                key: untag_raw(value)
+                for key, value in payload["items"].items()
+            }
+    return payload
+
+
+def canonical_bytes(payload: Any) -> bytes:
+    """The canonical JSON serialisation content addressing hashes.
+
+    Sorted keys, minimal separators, ASCII-only: one byte sequence per
+    logical payload, on every platform.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
+
+
+def content_digest(payload: Any) -> str:
+    """The sha256 content address of a JSON-able payload."""
+    return hashlib.sha256(canonical_bytes(payload)).hexdigest()
+
+
+def row_digest(row: Mapping[str, Any]) -> str:
+    """Content identity of one raw row (delta-merge and watermark unit).
+
+    Keyed on the tagged raw payloads only — record ids and provenance
+    are process-local and must not enter the identity.
+    """
+    return content_digest({str(k): tag_raw(v) for k, v in row.items()})
+
+
+def _encode_provenance(node: Provenance) -> dict[str, Any]:
+    return {
+        "step": node.step.value,
+        "ref": node.ref,
+        "inputs": [_encode_provenance(child) for child in node.inputs],
+    }
+
+
+def _decode_provenance(payload: Mapping[str, Any]) -> Provenance:
+    return Provenance(
+        Step(payload["step"]),
+        payload["ref"],
+        tuple(_decode_provenance(child) for child in payload["inputs"]),
+    )
+
+
+def _encode_value(value: Value) -> dict[str, Any]:
+    return {
+        "raw": tag_raw(value.raw),
+        "dtype": value.dtype.value,
+        "confidence": value.confidence,
+        "provenance": _encode_provenance(value.provenance),
+    }
+
+
+def _decode_value(payload: Mapping[str, Any]) -> Value:
+    return Value(
+        untag_raw(payload["raw"]),
+        DataType(payload["dtype"]),
+        payload["confidence"],
+        _decode_provenance(payload["provenance"]),
+    )
+
+
+def encode_table(table: Table) -> dict[str, Any]:
+    """The exact, versioned JSON form of a table.
+
+    Record ids, sources, schema, and every cell annotation are preserved
+    verbatim: decoding replays the table byte-for-byte.
+    """
+    return {
+        "kind": "table",
+        "version": SNAPSHOT_VERSION,
+        "name": table.name,
+        "schema": [
+            {
+                "name": attr.name,
+                "dtype": attr.dtype.value,
+                "required": attr.required,
+                "description": attr.description,
+            }
+            for attr in table.schema
+        ],
+        "records": [
+            {
+                "rid": record.rid,
+                "source": record.source,
+                # Pairs, not an object: canonical JSON sorts object keys,
+                # and cell insertion order must survive the round trip.
+                "cells": [
+                    [name, _encode_value(value)]
+                    for name, value in record.cells.items()
+                ],
+            }
+            for record in table
+        ],
+    }
+
+
+def decode_table(payload: Mapping[str, Any]) -> Table:
+    """Rebuild a table from :func:`encode_table` output."""
+    if payload.get("kind") != "table":
+        raise CheckpointError(
+            f"snapshot payload is not a table: kind={payload.get('kind')!r}"
+        )
+    if payload.get("version") != SNAPSHOT_VERSION:
+        raise CheckpointError(
+            f"table snapshot version {payload.get('version')!r} is not the "
+            f"supported version {SNAPSHOT_VERSION}"
+        )
+    schema = Schema(tuple(
+        Attribute(
+            attr["name"],
+            DataType(attr["dtype"]),
+            attr["required"],
+            attr["description"],
+        )
+        for attr in payload["schema"]
+    ))
+    records = [
+        Record(
+            entry["rid"],
+            entry["source"],
+            {name: _decode_value(cell) for name, cell in entry["cells"]},
+        )
+        for entry in payload["records"]
+    ]
+    return Table(payload["name"], schema, records)
+
+
+def _normalised(payload: Any, aliases: dict[str, str]) -> Any:
+    """Rewrite process-local ids in an encoded table to stable ordinals.
+
+    Record ids come from a process-global counter and mapping/wrapper ids
+    from per-class counters, so two runs of identical logical content
+    disagree on them; first-occurrence aliases (``#0``, ``#1``, ...) make
+    the encoding order-stable instead.
+    """
+
+    def alias(kind: str, token: str) -> str:
+        key = f"{kind}:{token}"
+        if key not in aliases:
+            aliases[key] = f"{kind}#{len(aliases)}"
+        return aliases[key]
+
+    if isinstance(payload, dict):
+        out = {}
+        for key, value in payload.items():
+            if key == "rid":
+                out[key] = alias("rid", value)
+            elif key == "ref" and isinstance(value, str) and (
+                value.startswith("mapping-") or value.startswith("wrapper-")
+            ):
+                out[key] = alias("ref", value)
+            else:
+                out[key] = _normalised(value, aliases)
+        return out
+    if isinstance(payload, list):
+        return [_normalised(item, aliases) for item in payload]
+    return payload
+
+
+def table_fingerprint(table: Table) -> str:
+    """Cross-run content identity of a table.
+
+    The digest of the encoded table with counter-minted ids (record ids,
+    ``mapping-N``/``wrapper-N`` provenance refs) replaced by
+    first-occurrence ordinals: equal fingerprints mean logically
+    identical tables, whatever process minted them.
+    """
+    return content_digest(_normalised(encode_table(table), {}))

@@ -17,7 +17,7 @@ import random
 from dataclasses import dataclass
 
 from repro.datagen.corrupt import maybe, misspell
-from repro.errors import SourceError, TransientSourceError
+from repro.errors import InjectedCrashError, SourceError, TransientSourceError
 from repro.model.provenance import Step
 from repro.model.records import Record, Table
 from repro.obs.clock import Clock, system_clock
@@ -41,6 +41,11 @@ class FaultPlan:
       (free and deterministic under a manual clock).
     * ``corrupt_rate`` — per-record probability of a malformed payload:
       one string cell is misspelled via :func:`repro.datagen.corrupt.misspell`.
+    * ``die_at_step`` — the Nth load raises
+      :class:`~repro.errors.InjectedCrashError`, a scripted process death
+      that (unlike every fault above) escapes the resilience engine and
+      the wrangler's degradation handlers entirely; 0 never dies.  The
+      crash-recovery suite uses this to kill a run mid-acquisition.
     """
 
     dead: bool = False
@@ -48,11 +53,14 @@ class FaultPlan:
     failure_rate: float = 0.0
     latency: float = 0.0
     corrupt_rate: float = 0.0
+    die_at_step: int = 0
     seed: int = 2016
 
     def __post_init__(self) -> None:
         if self.fail_first < 0:
             raise SourceError("fail_first must be non-negative")
+        if self.die_at_step < 0:
+            raise SourceError("die_at_step must be non-negative")
         if not 0.0 <= self.failure_rate <= 1.0:
             raise SourceError("failure_rate is a probability in [0, 1]")
         if not 0.0 <= self.corrupt_rate <= 1.0:
@@ -88,8 +96,23 @@ class ChaosSource(StructuredSource):
         """How many loads (physical attempts) have been made so far."""
         return self._loads
 
+    def delta_cursor(self) -> str | None:
+        return self._inner.delta_cursor()
+
+    def with_cursor(self, attribute: str) -> "ChaosSource":
+        self._inner.with_cursor(attribute)
+        return self
+
+    def _content_token(self) -> object:
+        return self._inner._content_token()
+
     def _load(self) -> Table:
         self._loads += 1
+        if self.plan.die_at_step and self._loads == self.plan.die_at_step:
+            raise InjectedCrashError(
+                f"chaos: process death at load #{self._loads} of source "
+                f"{self.name!r}"
+            )
         if self.plan.latency:
             self._clock.wait(self.plan.latency)
         if self.plan.dead:

@@ -262,6 +262,21 @@ class ResilientStructuredSource(StructuredSource):
     def size_hint(self) -> int:
         return self.inner.size_hint()
 
+    def delta_cursor(self) -> str | None:
+        return self.inner.delta_cursor()
+
+    def with_cursor(self, attribute: str) -> "ResilientStructuredSource":
+        self.inner.with_cursor(attribute)
+        return self
+
+    def _content_token(self) -> object:
+        return self.inner._content_token()
+
+    def fetch_delta(self, watermark=None):
+        return self.engine.execute(
+            "fetch_delta", lambda: self.inner.fetch_delta(watermark)
+        )
+
 
 class ResilientDocumentSource(DocumentSource):
     """A :class:`DocumentSource` guarded by a resilience policy."""

@@ -96,19 +96,113 @@ class StructuredSource(DataSource):
     def __init__(self, metadata: SourceMetadata) -> None:
         super().__init__(metadata)
         self._size_hint: int | None = None
+        self._size_token: object = None
+        self._cursor_attribute: str | None = None
 
     @abc.abstractmethod
     def _load(self) -> Table:
         """Produce the source's current table (subclass hook)."""
 
+    def _content_token(self) -> object:
+        """A cheap token that changes whenever the backing content may
+        have changed (file sources return mtime+size); ``None`` means
+        the source cannot tell, and memoised state is kept."""
+        return None
+
+    def with_cursor(self, attribute: str) -> "StructuredSource":
+        """Declare the monotone cursor attribute enabling delta fetches.
+
+        The attribute's values must only ever grow for rows the source
+        appends (sequence numbers, updated-at timestamps); rows edited
+        *behind* the cursor are still caught by the watermark
+        fingerprint and degrade the next fetch to a full refetch.
+        """
+        self._cursor_attribute = attribute
+        return self
+
+    def delta_cursor(self) -> str | None:
+        """The declared cursor attribute, or ``None`` (no delta support)."""
+        return self._cursor_attribute
+
+    def supports_delta(self) -> bool:
+        """Whether :meth:`fetch_delta` can do better than a full fetch."""
+        return self.delta_cursor() is not None
+
+    def _memoise_size(self, count: int) -> None:
+        self._size_hint = count
+        self._size_token = self._content_token()
+
     def fetch(self) -> Table:
         """Fetch the source's current contents, recording the access."""
         self._record_access()
         table = self._load()
-        self._size_hint = len(table)
+        self._memoise_size(len(table))
         if table.name != self.name:
             table = Table(self.name, table.schema, list(table.records))
         return table
+
+    def fetch_delta(self, watermark=None):
+        """Fetch only what changed since ``watermark``.
+
+        Returns a :class:`~repro.ingest.cursor.DeltaBatch`.  Without a
+        watermark or a declared cursor this is a full fetch (full access
+        charged, ``table`` populated).  With both, the source is read
+        locally and only rows past the watermark cursor are returned,
+        charged pro rata with a :data:`~repro.ingest.cursor.
+        DELTA_COST_FLOOR` floor; a matching content fingerprint short-
+        circuits to ``"unchanged"`` at the floor price.
+        """
+        from repro.ingest.cursor import (
+            DELTA_COST_FLOOR,
+            DeltaBatch,
+            cursor_after,
+            watermark_for,
+        )
+        from repro.model.workingdata import row_digest
+
+        cursor_attribute = self.delta_cursor()
+        if watermark is None or cursor_attribute is None:
+            table = self.fetch()
+            rows = table.to_rows()
+            return DeltaBatch(
+                source=self.name,
+                mode="full",
+                rows=tuple(rows),
+                order=tuple(row_digest(row) for row in rows),
+                watermark=watermark_for(self.name, rows, cursor_attribute),
+                fraction=1.0,
+                table=table,
+            )
+        current = self._load()
+        rows = current.to_rows()
+        order = tuple(row_digest(row) for row in rows)
+        advanced = watermark_for(
+            self.name, rows, cursor_attribute, previous=watermark
+        )
+        if advanced.fingerprint == watermark.fingerprint:
+            mode = "unchanged"
+            delta_rows: tuple[dict, ...] = ()
+            fraction = DELTA_COST_FLOOR
+        else:
+            mode = "delta"
+            delta_rows = tuple(
+                row
+                for row in rows
+                if cursor_after(row.get(cursor_attribute), watermark.cursor)
+            )
+            fraction = max(
+                DELTA_COST_FLOOR, len(delta_rows) / max(1, len(rows))
+            )
+        self._record_access(fraction)
+        self._memoise_size(len(rows))
+        return DeltaBatch(
+            source=self.name,
+            mode=mode,
+            rows=delta_rows,
+            order=order,
+            watermark=advanced,
+            fraction=fraction,
+        )
 
     def probe(self, limit: int = 25) -> Table:
         """Fetch a cheap sample (``PROBE_COST_FRACTION`` of a full access).
@@ -118,18 +212,23 @@ class StructuredSource(DataSource):
         """
         self._record_access(PROBE_COST_FRACTION)
         table = self._load()
-        self._size_hint = len(table)
+        self._memoise_size(len(table))
         return Table(self.name, table.schema, list(table.records[:limit]))
 
     def size_hint(self) -> int:
         """The source's advertised record count (catalogs publish item
         counts; no access cost is charged for reading the banner).
 
-        Memoised per fetch/probe: repeated probes must not silently
-        re-read the entire source just to report its size.
+        Memoised per fetch/probe — repeated probes must not silently
+        re-read the entire source just to report its size — but the memo
+        is invalidated when :meth:`_content_token` says the backing
+        content changed (a stale hint would leak into cost estimates
+        across checkpointed runs).
         """
-        if self._size_hint is None:
+        token = self._content_token()
+        if self._size_hint is None or token != self._size_token:
             self._size_hint = len(self._load())
+            self._size_token = token
         return self._size_hint
 
 

@@ -11,7 +11,20 @@ from repro.errors import SourceError
 from repro.model.records import Table
 from repro.sources.base import SourceMetadata, StructuredSource
 
-__all__ = ["CSVSource", "JSONSource", "flatten_object"]
+__all__ = ["CSVSource", "JSONSource", "file_token", "flatten_object"]
+
+
+def file_token(path: Path) -> tuple[int, int] | None:
+    """mtime+size of a backing file; changes when the content may have.
+
+    ``None`` for a missing file — the next ``_load`` raises the real
+    :class:`SourceError`, so the token never has to.
+    """
+    try:
+        stat = path.stat()
+    except OSError:
+        return None
+    return (stat.st_mtime_ns, stat.st_size)
 
 
 class CSVSource(StructuredSource):
@@ -25,6 +38,7 @@ class CSVSource(StructuredSource):
         cost_per_access: float = 1.0,
         change_rate: float = 0.0,
         domain: str = "",
+        cursor: str | None = None,
     ) -> None:
         super().__init__(
             SourceMetadata(
@@ -38,6 +52,10 @@ class CSVSource(StructuredSource):
         )
         self._path = Path(path)
         self._delimiter = delimiter
+        self._cursor_attribute = cursor
+
+    def _content_token(self) -> object:
+        return file_token(self._path)
 
     def _load(self) -> Table:
         if not self._path.exists():
@@ -94,6 +112,7 @@ class JSONSource(StructuredSource):
         cost_per_access: float = 1.0,
         change_rate: float = 0.0,
         domain: str = "",
+        cursor: str | None = None,
     ) -> None:
         super().__init__(
             SourceMetadata(
@@ -107,6 +126,10 @@ class JSONSource(StructuredSource):
         )
         self._path = Path(path)
         self._records_key = records_key
+        self._cursor_attribute = cursor
+
+    def _content_token(self) -> object:
+        return file_token(self._path)
 
     def _load(self) -> Table:
         if not self._path.exists():

@@ -20,6 +20,7 @@ class MemorySource(StructuredSource):
         cost_per_access: float = 1.0,
         change_rate: float = 0.0,
         domain: str = "",
+        cursor: str | None = None,
     ) -> None:
         super().__init__(
             SourceMetadata(
@@ -31,13 +32,19 @@ class MemorySource(StructuredSource):
             )
         )
         self._rows = [dict(row) for row in rows]
+        self._cursor_attribute = cursor
+        self._generation = 0
 
     def _load(self) -> Table:
         return Table.from_rows(self.name, self._rows, source=self.name)
 
+    def _content_token(self) -> object:
+        return self._generation
+
     def replace_rows(self, rows: Sequence[Mapping[str, Any]]) -> None:
         """Swap the backing rows (models source-side updates / Velocity)."""
         self._rows = [dict(row) for row in rows]
+        self._generation += 1
 
 
 class VolatileSource(StructuredSource):

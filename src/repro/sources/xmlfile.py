@@ -14,6 +14,7 @@ from typing import Any
 from repro.errors import SourceError
 from repro.model.records import Table
 from repro.sources.base import SourceMetadata, StructuredSource
+from repro.sources.files import file_token
 
 __all__ = ["XMLSource"]
 
@@ -68,6 +69,9 @@ class XMLSource(StructuredSource):
         )
         self._path = Path(path)
         self._record_tag = record_tag
+
+    def _content_token(self) -> object:
+        return file_token(self._path)
 
     def _load(self) -> Table:
         if not self._path.exists():

@@ -533,3 +533,68 @@ class TestRep015BenchTelemetryRequired:
         ):
             result = lint_source(source, path=path)
             assert "REP015" not in rule_ids(result), path
+
+
+class TestRep016AtomicWritesOnly:
+    PATH = "src/repro/core/example.py"
+
+    def test_open_write_mode_fires(self):
+        assert_fires_then_suppresses(
+            'with open("state.json", "w") as fh:\n    fh.write(data)\n',
+            "REP016",
+            'with open("state.json", "w") as fh:  # repro: noqa[REP016]\n'
+            "    fh.write(data)\n",
+            path=self.PATH,
+        )
+
+    def test_path_open_append_fires(self):
+        result = lint_source(
+            'path.open("a").write(line)\n', path=self.PATH
+        )
+        assert "REP016" in rule_ids(result)
+
+    def test_mode_keyword_fires(self):
+        result = lint_source(
+            'open("f.bin", mode="wb").write(b"x")\n', path=self.PATH
+        )
+        assert "REP016" in rule_ids(result)
+
+    def test_write_text_fires(self):
+        result = lint_source(
+            'path.write_text(json.dumps(body))\n', path=self.PATH
+        )
+        assert "REP016" in rule_ids(result)
+
+    def test_read_mode_is_clean(self):
+        result = lint_source(
+            'open("f.txt").read()\npath.open("r").read()\n', path=self.PATH
+        )
+        assert "REP016" not in rule_ids(result)
+
+    def test_non_file_open_method_is_clean(self):
+        # A tracer's span opener takes string arguments that are not modes.
+        result = lint_source(
+            'span = tracer.open(f"prefetch:{name}", source=name)\n',
+            path=self.PATH,
+        )
+        assert "REP016" not in rule_ids(result)
+
+    def test_io_layer_exempt(self):
+        result = lint_source(
+            'path.write_text(payload)\n', path="src/repro/io.py"
+        )
+        assert "REP016" not in rule_ids(result)
+
+    def test_ingest_layer_exempt(self):
+        result = lint_source(
+            'with open("tmp", "wb") as fh:\n    fh.write(data)\n',
+            path="src/repro/ingest/checkpoint.py",
+        )
+        assert "REP016" not in rule_ids(result)
+
+    def test_benchmarks_outside_architecture_are_clean(self):
+        result = lint_source(
+            'out.write_text(json.dumps(record))\n',
+            path="benchmarks/bench_er_scale.py",
+        )
+        assert "REP016" not in rule_ids(result)
